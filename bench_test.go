@@ -1,0 +1,276 @@
+// Package repro_test benchmarks the regeneration of every table and
+// figure in the paper (DESIGN.md §4 maps each benchmark to its
+// experiment) plus the design-choice ablations of DESIGN.md §5 and
+// microbenchmarks of the hot simulation paths.
+//
+// Each Benchmark{Figure,Table}N iteration regenerates its artifact from
+// scratch — including the simulated-machine measurement runs behind the
+// fitted tables — at a reduced but steady-state scale.
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/experiments"
+	"repro/internal/memsys"
+	"repro/internal/model"
+	"repro/internal/queueing"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/units"
+	"repro/internal/workloads"
+)
+
+// benchScale keeps per-iteration cost manageable while staying past the
+// LLC-fill warm-up knee (see experiments.Quick).
+func benchScale() experiments.Scale {
+	s := experiments.Quick()
+	s.MeasureInstr = 1_500_000
+	return s
+}
+
+func runArtifact(b *testing.B, run func(*experiments.Suite) (experiments.Artifact, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		suite := experiments.NewSuite(benchScale())
+		art, err := run(suite)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if art.Text() == "" {
+			b.Fatal("empty artifact")
+		}
+	}
+}
+
+func BenchmarkFigure1(b *testing.B) {
+	runArtifact(b, (*experiments.Suite).Figure1)
+}
+
+func BenchmarkFigure2(b *testing.B) {
+	runArtifact(b, (*experiments.Suite).Figure2)
+}
+
+func BenchmarkFigure3(b *testing.B) {
+	runArtifact(b, (*experiments.Suite).Figure3)
+}
+
+func BenchmarkTable2(b *testing.B) {
+	runArtifact(b, (*experiments.Suite).Table2)
+}
+
+func BenchmarkTable3(b *testing.B) {
+	runArtifact(b, (*experiments.Suite).Table3)
+}
+
+func BenchmarkFigure4(b *testing.B) {
+	runArtifact(b, (*experiments.Suite).Figure4)
+}
+
+func BenchmarkFigure5(b *testing.B) {
+	runArtifact(b, (*experiments.Suite).Figure5)
+}
+
+func BenchmarkTable4(b *testing.B) {
+	runArtifact(b, (*experiments.Suite).Table4)
+}
+
+func BenchmarkTable5(b *testing.B) {
+	runArtifact(b, (*experiments.Suite).Table5)
+}
+
+func BenchmarkTable6(b *testing.B) {
+	runArtifact(b, (*experiments.Suite).Table6)
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	runArtifact(b, (*experiments.Suite).Figure6)
+}
+
+func BenchmarkFigure7(b *testing.B) {
+	runArtifact(b, (*experiments.Suite).Figure7)
+}
+
+func BenchmarkFigure8(b *testing.B) {
+	runArtifact(b, (*experiments.Suite).Figure8)
+}
+
+func BenchmarkFigure9(b *testing.B) {
+	runArtifact(b, (*experiments.Suite).Figure9)
+}
+
+func BenchmarkFigure10(b *testing.B) {
+	runArtifact(b, (*experiments.Suite).Figure10)
+}
+
+func BenchmarkFigure11(b *testing.B) {
+	runArtifact(b, (*experiments.Suite).Figure11)
+}
+
+func BenchmarkTable7(b *testing.B) {
+	runArtifact(b, (*experiments.Suite).Table7)
+}
+
+func BenchmarkHierarchicalEq5(b *testing.B) {
+	runArtifact(b, (*experiments.Suite).TieredMemory)
+}
+
+// BenchmarkNUMAStudy exercises the §VIII multi-socket extension.
+func BenchmarkNUMAStudy(b *testing.B) {
+	runArtifact(b, (*experiments.Suite).NUMAStudy)
+}
+
+// ---- Ablations (DESIGN.md §5) ----
+
+// BenchmarkAblationQueueCurve compares the model over the measured
+// composite curve against the analytic M/M/1 form.
+func BenchmarkAblationQueueCurve(b *testing.B) {
+	runArtifact(b, (*experiments.Suite).QueueCurveAblation)
+}
+
+// BenchmarkAblationPrefetch re-fits key workloads with the prefetcher
+// disabled (the §VII blocking-factor mechanism).
+func BenchmarkAblationPrefetch(b *testing.B) {
+	runArtifact(b, (*experiments.Suite).PrefetchAblation)
+}
+
+// BenchmarkAblationPrefetchDepth sweeps prefetch depth vs fitted BF
+// (§VII: prefetch effectiveness read off the blocking factor).
+func BenchmarkAblationPrefetchDepth(b *testing.B) {
+	runArtifact(b, (*experiments.Suite).PrefetchDepthSweep)
+}
+
+// BenchmarkAblationSolver compares the bisection solver against the
+// paper's damped fixed-point iteration on the baseline evaluation.
+func BenchmarkAblationSolver(b *testing.B) {
+	curve := queueing.MM1{Service: 6 * units.Nanosecond, ULimit: 0.95}
+	sys := queueing.System{Compulsory: 75 * units.Nanosecond, PeakBW: units.GBpsOf(42), Curve: curve}
+	p := model.Params{Name: "Big Data", CPICache: 0.91, BF: 0.21, MPKI: 5.5, WBR: 0.92}
+	demand := func(mp units.Duration) units.BytesPerSecond {
+		cpi := p.CPIEffAt(mp, units.GHzOf(2.5))
+		return p.Demand(cpi, units.GHzOf(2.5), 64) * 16
+	}
+	b.Run("bisection", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := queueing.Solve(sys, demand, queueing.SolveOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("damped", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := queueing.SolveDamped(sys, demand, queueing.SolveOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationBlockingFactor compares the constant-BF Eq. 1 against
+// Chou's Eq. 2 with the Eq. 3 offset across a latency sweep.
+func BenchmarkAblationBlockingFactor(b *testing.B) {
+	p := model.Params{Name: "Enterprise", CPICache: 1.47, BF: 0.41, MPKI: 6.7, WBR: 0.27}
+	b.Run("eq1-constant-bf", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for mp := units.Cycles(180); mp < 500; mp += 20 {
+				_ = p.CPIEff(mp)
+			}
+		}
+	})
+	b.Run("eq2-mlp", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for mp := units.Cycles(180); mp < 500; mp += 20 {
+				if _, err := model.CPIEffChou(p.CPICache, 0.15, p.MPI(), mp, 1/p.BF); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+// ---- Hot-path microbenchmarks ----
+
+// BenchmarkMachineSimulation measures raw simulator throughput in
+// instructions per wall second for the flagship workload.
+func BenchmarkMachineSimulation(b *testing.B) {
+	w, err := workloads.ByName("columnstore")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := sim.DefaultConfig()
+	cfg.Threads = 8
+	const instr = 2_000_000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := sim.New(cfg, w.Name(), w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.Run(0, instr); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(instr)*float64(b.N)/b.Elapsed().Seconds(), "instr/s")
+}
+
+func BenchmarkCacheAccess(b *testing.B) {
+	memCfg := memsys.DefaultConfig()
+	mem, err := memsys.NewSimulator(memCfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	h, err := cache.New(cache.DefaultConfig(), mem)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := trace.NewRNG(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr := rng.Uint64n(1<<24) * 64
+		h.Access(units.Duration(i), trace.Ref{Addr: addr}, units.GHzOf(2.5))
+	}
+}
+
+func BenchmarkMemsysAccess(b *testing.B) {
+	mem, err := memsys.NewSimulator(memsys.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := trace.NewRNG(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mem.Access(units.Duration(i)*3, rng.Uint64n(1<<26)*64, memsys.Read)
+	}
+}
+
+func BenchmarkModelEvaluate(b *testing.B) {
+	pl := model.BaselinePlatform(queueing.MM1{Service: 6 * units.Nanosecond, ULimit: 0.95})
+	p := model.Params{Name: "Big Data", CPICache: 0.91, BF: 0.21, MPKI: 5.5, WBR: 0.92}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := model.Evaluate(p, pl); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMLCSweepPoint(b *testing.B) {
+	cfg := memsys.DefaultConfig()
+	for i := 0; i < b.N; i++ {
+		mlc := workloads.MLC{
+			ReadFraction: 1,
+			Rate:         units.GBpsOf(20),
+			Duration:     20 * units.Microsecond,
+			Seed:         uint64(i + 1),
+		}
+		if _, err := mlc.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFutureMemory evaluates the §VII future-memory designs.
+func BenchmarkFutureMemory(b *testing.B) {
+	runArtifact(b, (*experiments.Suite).FutureMemory)
+}

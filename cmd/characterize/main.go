@@ -1,0 +1,125 @@
+// Command characterize runs one workload (or all) on the simulated
+// machine, reports the measured counters the way perf tooling would, and
+// optionally runs the full §V.A scaling fit.
+//
+// Usage:
+//
+//	characterize [-workload name] [-fit] [-ghz 2.5] [-grade 1867]
+//	             [-threads 0] [-instr 3000000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/memsys"
+	"repro/internal/params"
+	"repro/internal/pmu"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+func main() {
+	var (
+		name     = flag.String("workload", "", "workload name (default: all)")
+		fit      = flag.Bool("fit", false, "run the full scaling grid and fit CPI_cache/BF")
+		ghz      = flag.Float64("ghz", 2.5, "core speed in GHz")
+		grade    = flag.Int("grade", 1867, "DDR speed grade in MT/s")
+		instr    = flag.Uint64("instr", 3_000_000, "measured instructions")
+		verbose  = flag.Bool("v", false, "print per-run measurements during fits")
+		counters = flag.Bool("counters", false, "dump the full counter set per run")
+	)
+	flag.Parse()
+
+	scale := experiments.Full()
+	scale.MeasureInstr = *instr
+
+	var list []workloads.Workload
+	if *name != "" {
+		w, err := workloads.ByName(*name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "characterize: %v\navailable: %v\n", err, workloads.Names())
+			os.Exit(1)
+		}
+		list = []workloads.Workload{w}
+	} else {
+		list = workloads.All()
+	}
+
+	for _, w := range list {
+		if *fit {
+			runFit(w, scale, *verbose)
+			continue
+		}
+		sc := experiments.ScalingConfig{CoreGHz: *ghz, Grade: memsys.Grade(*grade)}
+		m, err := experiments.RunWorkload(w, sc, scale, false)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "characterize: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-16s %-10s thr=%2d  CPI=%.3f util=%.0f%%  MPKI=%.2f  MP=%.0fcy(%.0fns)  WBR=%.0f%%  BW=%.1fGB/s (util %.0f%%)  IO=%.2fGB/s pref=%d/%d late=%d\n",
+			w.Name(), w.Class(), m.Threads, m.CPI, m.Utilization*100, m.MPKI,
+			float64(m.MPCycles), m.MP.Nanoseconds(), m.WBR*100,
+			m.Bandwidth.GBps(), m.Utilization1*100, m.IOBandwidth.GBps(),
+			m.Cache.PrefHits, m.Cache.PrefIssued, m.Cache.PrefLate)
+		if *counters {
+			fmt.Print(counterDump(m).Format())
+		}
+	}
+}
+
+// counterDump flattens a measurement into the PMU-style named counter
+// set the paper's tooling would report.
+func counterDump(m sim.Measurement) pmu.CounterSet {
+	cs := pmu.CounterSet{}
+	cs.Add("inst_retired", float64(m.Instructions))
+	cs.Add("cpi_eff", m.CPI)
+	cs.Add("cpu_utilization", m.Utilization)
+	cs.Add("llc.mpki", m.MPKI)
+	cs.Add("llc.demand_mpi", m.DemandMPI)
+	cs.Add("llc.miss_penalty_ns", m.MP.Nanoseconds())
+	cs.Add("llc.miss_penalty_cycles", float64(m.MPCycles))
+	cs.Add("mem.wbr", m.WBR)
+	cs.Add("mem.bandwidth_gbps", m.Bandwidth.GBps())
+	cs.Add("mem.chan_utilization", m.Utilization1)
+	cs.Add("mem.reads", float64(m.Mem.Reads))
+	cs.Add("mem.writes", float64(m.Mem.Writes))
+	cs.Add("mem.turnarounds", float64(m.Mem.Turnarounds))
+	cs.Add("mem.bank_conflicts", float64(m.Mem.BankConflicts))
+	cs.Add("pf.issued", float64(m.Cache.PrefIssued))
+	cs.Add("pf.hits", float64(m.Cache.PrefHits))
+	cs.Add("pf.late", float64(m.Cache.PrefLate))
+	cs.Add("io.events_per_instr", m.IOPI)
+	cs.Add("io.bandwidth_gbps", m.IOBandwidth.GBps())
+	for i, lvl := range m.Cache.Levels {
+		prefix := fmt.Sprintf("cache.l%d.", i+1)
+		cs.Add(prefix+"accesses", float64(lvl.Accesses))
+		cs.Add(prefix+"hits", float64(lvl.Hits))
+		cs.Add(prefix+"demand_misses", float64(lvl.DemandMisses))
+		cs.Add(prefix+"writebacks", float64(lvl.Writebacks))
+	}
+	return cs
+}
+
+func runFit(w workloads.Workload, scale experiments.Scale, verbose bool) {
+	fit, runs, err := experiments.FitWorkload(w, experiments.PaperScalingConfigs(), scale)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "characterize: %v\n", err)
+		os.Exit(1)
+	}
+	if verbose {
+		for _, m := range runs {
+			fmt.Printf("  run %-28s CPI=%.3f MPKI=%.2f MP=%.0fcy x=%.3f\n",
+				m.Freq.String()+"/"+m.MemGrade.String(), m.CPI, m.MPKI, float64(m.MPCycles), m.MPIxMP())
+		}
+	}
+	p := fit.Params
+	line := fmt.Sprintf("%-16s CPI_cache=%.3f BF=%.3f MPKI=%.2f WBR=%.0f%% R2=%.3f maxErr=%.1f%%",
+		w.Name(), p.CPICache, p.BF, p.MPKI, p.WBR*100, fit.R2, fit.MaxAbsError()*100)
+	if t, ok := params.ByWorkload(w.Name()); ok {
+		line += fmt.Sprintf("   [paper: %.2f/%.2f/%.1f/%.0f%%]", t.CPICache, t.BF, t.MPKI, t.WBR*100)
+	}
+	fmt.Println(line)
+}

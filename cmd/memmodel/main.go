@@ -1,0 +1,125 @@
+// Command memmodel queries the analytic performance model directly: given
+// workload-class parameters and a platform, it reports the stable
+// operating point (CPI, loaded latency, bandwidth, utilization) and
+// what-if deltas for latency and bandwidth changes — the §VI.C analysis
+// as a calculator.
+//
+// Usage:
+//
+//	memmodel [-class bigdata|enterprise|hpc] [-cpicache v -bf v -mpki v -wbr v]
+//	         [-cores 8] [-threads 0] [-ghz 2.5] [-channels 4] [-grade 1867]
+//	         [-efficiency 0.70] [-compulsory 75]
+//	         [-dlat 10] [-dbw 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/model"
+	"repro/internal/params"
+	"repro/internal/queueing"
+	"repro/internal/units"
+)
+
+func main() {
+	var (
+		class      = flag.String("class", "bigdata", "workload class: bigdata, enterprise, hpc (or 'custom')")
+		cpiCache   = flag.Float64("cpicache", 0, "custom CPI_cache")
+		bf         = flag.Float64("bf", 0, "custom blocking factor")
+		mpki       = flag.Float64("mpki", 0, "custom MPKI")
+		wbr        = flag.Float64("wbr", 0, "custom writeback rate (fraction of MPI)")
+		cores      = flag.Int("cores", 8, "physical cores")
+		threads    = flag.Int("threads", 0, "hardware threads (default 2x cores)")
+		ghz        = flag.Float64("ghz", 2.5, "core speed (GHz)")
+		channels   = flag.Int("channels", 4, "DDR channels")
+		grade      = flag.Int("grade", 1867, "DDR grade (MT/s)")
+		efficiency = flag.Float64("efficiency", 0.70, "channel efficiency")
+		compulsory = flag.Float64("compulsory", 75, "compulsory latency (ns)")
+		dlat       = flag.Float64("dlat", 10, "what-if latency delta (ns)")
+		dbw        = flag.Float64("dbw", 1, "what-if bandwidth delta (GB/s per core)")
+	)
+	flag.Parse()
+
+	p, err := classParams(*class, *cpiCache, *bf, *mpki, *wbr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "memmodel: %v\n", err)
+		os.Exit(1)
+	}
+	if *threads == 0 {
+		*threads = 2 * *cores
+	}
+	peak := units.BytesPerSecond(float64(*channels) * float64(*grade) * 1e6 * 8 * *efficiency)
+	pl := model.Platform{
+		Name:       "cli",
+		Threads:    *threads,
+		Cores:      *cores,
+		CoreSpeed:  units.GHzOf(*ghz),
+		LineSize:   64,
+		Compulsory: units.Duration(*compulsory),
+		PeakBW:     peak,
+		// The CLI uses the analytic M/M/1 curve; cmd/repro calibrates a
+		// measured composite from the simulator (Fig. 7).
+		Queue: queueing.MM1{Service: 6 * units.Nanosecond, ULimit: 0.95},
+	}
+
+	op, err := model.Evaluate(p, pl)
+	check(err)
+	fmt.Printf("class %-12s CPI_cache=%.2f BF=%.2f MPKI=%.1f WBR=%.0f%%\n",
+		p.Name, p.CPICache, p.BF, p.MPKI, p.WBR*100)
+	fmt.Printf("platform: %dC/%dT @ %.1fGHz, %dch DDR-%d, peak %v, compulsory %v\n",
+		*cores, *threads, *ghz, *channels, *grade, peak, pl.Compulsory)
+	printOp("baseline", op, pl)
+
+	// What-ifs.
+	opLat, err := model.Evaluate(p, pl.WithCompulsory(pl.Compulsory+units.Duration(*dlat)))
+	check(err)
+	printDelta(fmt.Sprintf("+%gns latency", *dlat), op, opLat)
+	opBW, err := model.Evaluate(p, pl.WithPeakBW(pl.PeakBW-units.GBpsOf(*dbw*float64(*cores))))
+	check(err)
+	printDelta(fmt.Sprintf("-%gGB/s/core bandwidth", *dbw), op, opBW)
+}
+
+func classParams(name string, cpiCache, bf, mpki, wbr float64) (model.Params, error) {
+	switch strings.ToLower(name) {
+	case "enterprise":
+		return fromTarget(params.Table6[0]), nil
+	case "bigdata", "big data":
+		return fromTarget(params.Table6[1]), nil
+	case "hpc":
+		return fromTarget(params.Table6[2]), nil
+	case "custom":
+		p := model.Params{Name: "custom", CPICache: cpiCache, BF: bf, MPKI: mpki, WBR: wbr}
+		return p, p.Validate()
+	default:
+		return model.Params{}, fmt.Errorf("unknown class %q (want bigdata, enterprise, hpc, custom)", name)
+	}
+}
+
+func fromTarget(t params.Target) model.Params {
+	return model.Params{Name: t.Workload, CPICache: t.CPICache, BF: t.BF, MPKI: t.MPKI, WBR: t.WBR}
+}
+
+func printOp(label string, op model.OperatingPoint, pl model.Platform) {
+	bound := "latency-limited"
+	if op.BandwidthBound {
+		bound = "BANDWIDTH-BOUND"
+	}
+	fmt.Printf("%-24s CPI=%.3f  MP=%.0fns (%.0fcy, queue %.1fns)  demand=%v  util=%.0f%%  %s  throughput=%.2f Ginstr/s\n",
+		label, op.CPI, op.MissPenalty.Nanoseconds(), float64(op.MissPenaltyCyc),
+		op.QueueDelay.Nanoseconds(), op.Demand, op.Utilization*100, bound,
+		op.Throughput(pl)/1e9)
+}
+
+func printDelta(label string, base, v model.OperatingPoint) {
+	fmt.Printf("%-24s CPI=%.3f  (%+.2f%% vs baseline)\n", label, v.CPI, (v.CPI/base.CPI-1)*100)
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "memmodel: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,135 @@
+// Command memtrace records a workload's block stream to a compact binary
+// trace and replays recorded traces on arbitrary machine configurations —
+// trace-driven simulation with literally identical instruction streams
+// across configurations.
+//
+// Record 50k blocks of the column-store kernel:
+//
+//	memtrace -record cs.trc -workload columnstore -blocks 50000
+//
+// Replay it on two machines and compare:
+//
+//	memtrace -replay cs.trc -ghz 2.1 -grade 1867 -threads 8
+//	memtrace -replay cs.trc -ghz 3.1 -grade 1333 -threads 8
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/memsys"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/units"
+	"repro/internal/workloads"
+)
+
+func main() {
+	var (
+		recordPath = flag.String("record", "", "record the workload's stream to this file")
+		replayPath = flag.String("replay", "", "replay a recorded stream from this file")
+		workload   = flag.String("workload", "columnstore", "workload to record")
+		blocks     = flag.Int("blocks", 50_000, "blocks to record")
+		seed       = flag.Uint64("seed", 0xC0FFEE, "generator seed for recording")
+		ghz        = flag.Float64("ghz", 2.5, "replay core speed (GHz)")
+		grade      = flag.Int("grade", 1867, "replay DDR grade (MT/s)")
+		threads    = flag.Int("threads", 8, "replay hardware threads (each replays the trace)")
+		instr      = flag.Uint64("instr", 4_000_000, "replay measured instructions")
+	)
+	flag.Parse()
+
+	switch {
+	case *recordPath != "" && *replayPath != "":
+		fail(fmt.Errorf("choose -record or -replay, not both"))
+	case *recordPath != "":
+		if err := record(*recordPath, *workload, *blocks, *seed); err != nil {
+			fail(err)
+		}
+	case *replayPath != "":
+		if err := replay(*replayPath, *ghz, memsys.Grade(*grade), *threads, *instr); err != nil {
+			fail(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func record(path, workload string, blocks int, seed uint64) error {
+	w, err := workloads.ByName(workload)
+	if err != nil {
+		return fmt.Errorf("%w\navailable: %v", err, workloads.Names())
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	rec, err := trace.NewRecorder(w.NewGenerator(0, seed), f)
+	if err != nil {
+		return err
+	}
+	var b trace.Block
+	var instr uint64
+	for i := 0; i < blocks; i++ {
+		b.Reset()
+		rec.NextBlock(&b)
+		instr += b.Instructions
+	}
+	if err := rec.Close(); err != nil {
+		return err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("recorded %s: %d blocks, %d instructions, %d bytes (%.2f B/instr)\n",
+		workload, blocks, instr, st.Size(), float64(st.Size())/float64(instr))
+	return nil
+}
+
+// replayFactory gives every thread its own Replayer over the same bytes.
+type replayFactory struct{ data []byte }
+
+func (f replayFactory) NewGenerator(thread int, seed uint64) trace.Generator {
+	rep, err := trace.NewReplayer(bytes.NewReader(f.data))
+	if err != nil {
+		// Validated once in replay() before machine construction.
+		panic(err)
+	}
+	return rep
+}
+
+func replay(path string, ghz float64, grade memsys.Grade, threads int, instr uint64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if _, err := trace.NewReplayer(bytes.NewReader(data)); err != nil {
+		return err
+	}
+	cfg := sim.DefaultConfig()
+	cfg.Threads = threads
+	cfg.Core.Freq = units.GHzOf(ghz)
+	cfg.Mem.Grade = grade
+	m, err := sim.New(cfg, "replay:"+path, replayFactory{data})
+	if err != nil {
+		return err
+	}
+	meas, err := m.Run(instr/2, instr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replay %-24s %dT @ %.1fGHz %v:  CPI=%.3f  MPKI=%.2f  MP=%.0fcy(%.0fns)  WBR=%.0f%%  BW=%.1fGB/s\n",
+		path, threads, ghz, grade, meas.CPI, meas.MPKI,
+		float64(meas.MPCycles), meas.MP.Nanoseconds(), meas.WBR*100, meas.Bandwidth.GBps())
+	return nil
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "memtrace: %v\n", err)
+	os.Exit(1)
+}

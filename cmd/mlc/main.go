@@ -1,0 +1,79 @@
+// Command mlc is the repository's equivalent of the Intel® Memory Latency
+// Checker (§III.D): it measures idle latency, peak bandwidth, and the
+// loaded-latency curve of a configurable simulated memory system.
+//
+// Usage:
+//
+//	mlc [-channels 4] [-grade 1867] [-compulsory 75] [-readpct 100]
+//	    [-sweep] [-rate 0]   # -rate in GB/s for a single point
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/memsys"
+	"repro/internal/units"
+	"repro/internal/workloads"
+)
+
+func main() {
+	var (
+		channels   = flag.Int("channels", 4, "DDR channel count")
+		grade      = flag.Int("grade", 1867, "DDR speed grade (MT/s)")
+		compulsory = flag.Float64("compulsory", 75, "unloaded latency (ns)")
+		readPct    = flag.Float64("readpct", 100, "read percentage of the injected mix")
+		sweep      = flag.Bool("sweep", false, "sweep injection rates and print the loaded-latency curve")
+		rateGBps   = flag.Float64("rate", 0, "single-point injection rate (GB/s); 0 = idle latency + peak only")
+		durationUS = flag.Float64("duration", 150, "injection duration per point (simulated µs)")
+	)
+	flag.Parse()
+
+	cfg := memsys.DefaultConfig()
+	cfg.Channels = *channels
+	cfg.Grade = memsys.Grade(*grade)
+	cfg.Compulsory = units.Duration(*compulsory)
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "mlc: %v\n", err)
+		os.Exit(1)
+	}
+	readFrac := *readPct / 100
+	dur := units.Duration(*durationUS) * units.Microsecond
+
+	idle, err := workloads.IdleLatency(cfg, 2000)
+	check(err)
+	peak, err := workloads.MaxBandwidth(cfg, readFrac, 0x31C)
+	check(err)
+	fmt.Printf("memory system : %d x %v, compulsory %v\n", cfg.Channels, cfg.Grade, cfg.Compulsory)
+	fmt.Printf("raw bandwidth : %v\n", cfg.RawBandwidth())
+	fmt.Printf("idle latency  : %.1f ns\n", idle.Nanoseconds())
+	fmt.Printf("peak bandwidth: %v (%.0f%% efficiency, %.0f%% reads)\n",
+		peak, float64(peak)/float64(cfg.RawBandwidth())*100, readFrac*100)
+
+	run := func(rate units.BytesPerSecond) {
+		mlc := workloads.MLC{ReadFraction: readFrac, Rate: rate, Duration: dur, Seed: 0x31C}
+		res, err := mlc.Run(cfg)
+		check(err)
+		fmt.Printf("inject %8.2f GB/s -> achieved %8.2f GB/s  util %5.1f%%  latency %6.1f ns  queue %6.1f ns\n",
+			rate.GBps(), res.Achieved.GBps(), res.Utilization*100,
+			res.AvgLatency.Nanoseconds(), res.AvgQueue.Nanoseconds())
+	}
+
+	switch {
+	case *sweep:
+		fmt.Println("\nloaded-latency sweep:")
+		for _, frac := range []float64{0.05, 0.15, 0.25, 0.35, 0.45, 0.55, 0.65, 0.75, 0.85, 0.9, 0.95, 1.0} {
+			run(peak * units.BytesPerSecond(frac))
+		}
+	case *rateGBps > 0:
+		run(units.GBpsOf(*rateGBps))
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mlc: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,96 @@
+// Capacity planning: the paper's §VI.D design-tradeoff analysis as a
+// procurement question.
+//
+// A fleet runs a mix of workload classes. Candidate server memory
+// configurations differ in channel count, speed grade, and (for a
+// hypothetical next-generation part) compulsory latency. For each
+// candidate the model computes per-class throughput; the example ranks
+// candidates by fleet-weighted throughput per (modelled) cost and shows
+// where "provide enough bandwidth first, then optimize latency" (§VIII)
+// comes from.
+//
+//	go run ./examples/capacityplanning
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"repro/internal/model"
+	"repro/internal/params"
+	"repro/internal/queueing"
+	"repro/internal/units"
+)
+
+type candidate struct {
+	name       string
+	channels   int
+	mts        int
+	efficiency float64
+	compulsory units.Duration
+	costUnits  float64 // relative DIMM+board cost
+}
+
+func main() {
+	// Fleet mix: mostly big data, some enterprise databases, an HPC pool.
+	mix := []struct {
+		class  params.Target
+		weight float64
+	}{
+		{params.Table6[1], 0.6}, // Big Data
+		{params.Table6[0], 0.3}, // Enterprise
+		{params.Table6[2], 0.1}, // HPC
+	}
+
+	candidates := []candidate{
+		{"2ch DDR3-1867", 2, 1867, 0.70, 75 * units.Nanosecond, 0.55},
+		{"4ch DDR3-1333", 4, 1333, 0.74, 75 * units.Nanosecond, 0.80},
+		{"4ch DDR3-1867 (baseline)", 4, 1867, 0.70, 75 * units.Nanosecond, 1.00},
+		{"4ch DDR3-1867 low-latency", 4, 1867, 0.70, 60 * units.Nanosecond, 1.25},
+		{"6ch DDR3-1867", 6, 1867, 0.70, 78 * units.Nanosecond, 1.45},
+	}
+
+	curve := queueing.MM1{Service: 6 * units.Nanosecond, ULimit: 0.95}
+	type result struct {
+		candidate
+		fleetThroughput float64 // weighted Ginstr/s
+		perClass        map[string]float64
+		valuePerCost    float64
+	}
+
+	var results []result
+	for _, c := range candidates {
+		pl := model.BaselinePlatform(curve)
+		pl.Name = c.name
+		pl.Compulsory = c.compulsory
+		pl.PeakBW = units.BytesPerSecond(float64(c.channels) * float64(c.mts) * 1e6 * 8 * c.efficiency)
+
+		r := result{candidate: c, perClass: map[string]float64{}}
+		for _, m := range mix {
+			p := model.Params{Name: m.class.Workload, CPICache: m.class.CPICache,
+				BF: m.class.BF, MPKI: m.class.MPKI, WBR: m.class.WBR}
+			op, err := model.Evaluate(p, pl)
+			if err != nil {
+				log.Fatal(err)
+			}
+			tput := op.Throughput(pl) / 1e9
+			r.perClass[m.class.Workload] = tput
+			r.fleetThroughput += m.weight * tput
+		}
+		r.valuePerCost = r.fleetThroughput / c.costUnits
+		results = append(results, r)
+	}
+
+	sort.Slice(results, func(i, j int) bool { return results[i].valuePerCost > results[j].valuePerCost })
+	fmt.Printf("%-28s %10s %10s %10s %12s %8s %10s\n",
+		"configuration", "BigData", "Enterprise", "HPC", "fleet Gi/s", "cost", "value/cost")
+	for _, r := range results {
+		fmt.Printf("%-28s %10.2f %10.2f %10.2f %12.2f %8.2f %10.2f\n",
+			r.name, r.perClass["Big Data"], r.perClass["Enterprise"], r.perClass["HPC"],
+			r.fleetThroughput, r.costUnits, r.valuePerCost)
+	}
+	fmt.Println("\nNote how the HPC column collapses on the 2-channel part (bandwidth bound)")
+	fmt.Println("while Enterprise barely moves — and the low-latency part helps Enterprise")
+	fmt.Println("and Big Data but does nothing for HPC. That is Fig. 8/10 and Table 7.")
+}

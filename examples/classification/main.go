@@ -1,0 +1,125 @@
+// Classification: run the paper's full measurement methodology (§V.A) on
+// a *new* workload and place it on the Fig. 6 map.
+//
+// The example defines a custom workload — a log-structured ingest engine
+// (sequential segment writes, bloom-filter lookups, occasional compaction
+// scans) — runs the frequency/memory-speed scaling grid on the simulated
+// machine, fits CPI_cache and BF from the measured counters, and reports
+// which workload-class mean it lands closest to.
+//
+//	go run ./examples/classification
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/experiments"
+	"repro/internal/model"
+	"repro/internal/params"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+// lsmIngest is the custom workload: a write-optimized store.
+type lsmIngest struct {
+	rng      *trace.RNG
+	memtable *trace.Region // in-memory table (hot, mostly cache resident)
+	segments *trace.Region // on-heap immutable segments (scanned at compaction)
+	bloom    *trace.Region
+	segPos   uint64
+	step     int
+}
+
+// factory implements sim.GeneratorFactory.
+type factory struct{}
+
+func (factory) NewGenerator(thread int, seed uint64) trace.Generator {
+	rng := trace.NewRNG(seed ^ 0x15A)
+	space := trace.NewAddressSpace(uint64(thread+1) << 36)
+	mt := space.AllocRegion(192 << 10)
+	seg := space.AllocRegion(24 << 20)
+	bl := space.AllocRegion(4 << 20)
+	return &lsmIngest{rng: rng, memtable: &mt, segments: &seg, bloom: &bl}
+}
+
+func (g *lsmIngest) NextBlock(b *trace.Block) {
+	g.step++
+	switch g.step % 5 {
+	case 0: // compaction scan: sequential, prefetch friendly
+		b.Instructions = 600
+		b.BaseCPI = 0.85
+		b.Chains = 4
+		for i := 0; i < 3; i++ {
+			b.AddRef(g.segments.Base+(g.segPos%g.segments.Lines(64))*64, false)
+			g.segPos++
+		}
+		b.AddRef(g.segments.Base+(g.segPos%g.segments.Lines(64))*64, true) // merged output
+		g.segPos++
+	case 2: // point lookup: bloom probe then segment read (chained)
+		b.Instructions = 700
+		b.BaseCPI = 1.05
+		b.Chains = 2
+		h := g.rng.Uint64()
+		b.AddRef(g.bloom.Base+h%g.bloom.Lines(64)*64, false)
+		b.AddRef(g.segments.Base+(h>>17)%g.segments.Lines(64)*64, false)
+	default: // ingest into the memtable (hot) + WAL append
+		b.Instructions = 800
+		b.BaseCPI = 0.95
+		b.Chains = 4
+		b.AddRef(g.memtable.Base+g.rng.Uint64n(g.memtable.Lines(64))*64, true)
+	}
+}
+
+func main() {
+	// Run the §V.A scaling grid exactly as the paper does for its own
+	// workloads: 4 core speeds × 2 memory speeds, measure, fit.
+	scale := experiments.Quick()
+	var points []model.FitPoint
+	for _, sc := range experiments.PaperScalingConfigs() {
+		cfg := sim.DefaultConfig()
+		cfg.Core.Freq = units.GHzOf(sc.CoreGHz)
+		cfg.Mem.Grade = sc.Grade
+		m, err := sim.New(cfg, "lsm-ingest", factory{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		meas, err := m.Run(scale.WarmupInstr, scale.MeasureInstr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		points = append(points, model.FitPoint{
+			Label: fmt.Sprintf("%.1fGHz/%v", sc.CoreGHz, sc.Grade),
+			CPI:   meas.CPI, MPI: meas.MPI, MP: meas.MPCycles, WBR: meas.WBR,
+		})
+		fmt.Printf("measured %-18s CPI=%.3f MPKI=%.2f MP=%.0fcy WBR=%.0f%%\n",
+			points[len(points)-1].Label, meas.CPI, meas.MPKI, float64(meas.MPCycles), meas.WBR*100)
+	}
+
+	fit, err := model.FitScaling("lsm-ingest", points)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfitted: CPI_cache=%.3f BF=%.3f MPKI=%.2f WBR=%.0f%% (R2=%.3f)\n",
+		fit.Params.CPICache, fit.Params.BF, fit.Params.MPKI, fit.Params.WBR*100, fit.R2)
+
+	// Place it on the Fig. 6 plane and find the nearest class mean.
+	pt := model.Fig6Point(fit.Params, "custom")
+	fmt.Printf("Fig. 6 position: BF=%.3f, refs/cycle=%.4f\n", pt.BF, pt.RefsPerCycle)
+	best, bestD := "", math.Inf(1)
+	for _, t := range params.Table6 {
+		cp := model.Fig6Point(model.Params{Name: t.Workload, CPICache: t.CPICache,
+			BF: t.BF, MPKI: t.MPKI, WBR: t.WBR}, t.Workload)
+		// Normalize roughly to the plane's spread before measuring distance.
+		dx := (pt.BF - cp.BF) / 0.5
+		dy := (pt.RefsPerCycle - cp.RefsPerCycle) / 0.05
+		d := dx*dx + dy*dy
+		fmt.Printf("  distance to %-10s mean: %.3f\n", t.Workload, math.Sqrt(d))
+		if d < bestD {
+			best, bestD = t.Workload, d
+		}
+	}
+	fmt.Printf("\nclassified as: %s\n", best)
+}

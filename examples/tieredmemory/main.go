@@ -1,0 +1,80 @@
+// Tiered memory: the §VII extension (Eq. 5) applied to an
+// emerging-memory adoption question.
+//
+// A large in-memory dataset can move from all-DRAM to a two-tier design —
+// a DRAM cache in front of a cheaper, slower persistent-memory pool. How
+// high must the DRAM tier's hit rate be to keep each workload class
+// within 10% of its all-DRAM performance? The example sweeps hit rates
+// and reports the break-even point per class.
+//
+//	go run ./examples/tieredmemory
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/model"
+	"repro/internal/params"
+	"repro/internal/queueing"
+	"repro/internal/units"
+)
+
+func main() {
+	curve := queueing.MM1{Service: 6 * units.Nanosecond, ULimit: 0.95}
+	base := model.BaselinePlatform(curve)
+
+	// Persistent-memory tier: 3x latency, 40% of DRAM bandwidth.
+	pmemLatency := base.Compulsory * 3
+	pmemBW := base.PeakBW * units.BytesPerSecond(0.4)
+
+	const budget = 0.10 // acceptable CPI regression vs all-DRAM
+
+	fmt.Printf("%-12s %-14s %-30s %s\n", "class", "all-DRAM CPI", "hit rate for <=10% regression", "CPI at 50% hit rate")
+	for _, t := range params.Table6 {
+		p := model.Params{Name: t.Workload, CPICache: t.CPICache, BF: t.BF, MPKI: t.MPKI, WBR: t.WBR}
+		baseOp, err := model.Evaluate(p, base)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		tieredCPI := func(hit float64) float64 {
+			tp := model.TieredPlatform{
+				Name:      "tiered",
+				Threads:   base.Threads,
+				Cores:     base.Cores,
+				CoreSpeed: base.CoreSpeed,
+				LineSize:  base.LineSize,
+				Tiers: []model.Tier{
+					{Name: "DRAM", HitFraction: hit, Compulsory: base.Compulsory, PeakBW: base.PeakBW, Queue: curve},
+					{Name: "PMEM", HitFraction: 1 - hit, Compulsory: pmemLatency, PeakBW: pmemBW, Queue: curve},
+				},
+			}
+			op, err := model.EvaluateTiered(p, tp)
+			if err != nil {
+				log.Fatal(err)
+			}
+			return op.CPI
+		}
+
+		// Bisect for the lowest hit rate within budget.
+		breakEven := "never within budget"
+		if tieredCPI(0)/baseOp.CPI-1 <= budget {
+			breakEven = "any (even 0%)"
+		} else {
+			lo, hi := 0.0, 1.0
+			for i := 0; i < 40; i++ {
+				mid := (lo + hi) / 2
+				if tieredCPI(mid)/baseOp.CPI-1 <= budget {
+					hi = mid
+				} else {
+					lo = mid
+				}
+			}
+			breakEven = fmt.Sprintf("%.0f%%", hi*100)
+		}
+		fmt.Printf("%-12s %-14.3f %-30s %.3f\n", t.Workload, baseOp.CPI, breakEven, tieredCPI(0.5))
+	}
+	fmt.Println("\nLatency-sensitive classes (Enterprise) need high DRAM hit rates; the")
+	fmt.Println("bandwidth-bound HPC class can even *gain* from the extra tier's channels.")
+}

@@ -1,0 +1,226 @@
+// Package cache implements the processor cache hierarchy of the simulated
+// machine: set-associative, write-back, write-allocate levels with LRU
+// replacement, an LLC stream prefetcher, and non-temporal store handling.
+//
+// The paper's model components map onto this package's counters directly:
+// MPI is LLC demand misses plus prefetch fills per instruction ("either
+// demand or prefetch", §IV.B), WBR is memory writes (dirty LLC evictions
+// plus non-temporal stores) as a fraction of MPI, and the effectiveness of
+// the prefetcher is what drives a workload's emergent blocking factor down
+// (§VII: "an improved prefetching technique ... will lower the blocking
+// factor").
+package cache
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/memsys"
+	"repro/internal/units"
+)
+
+// Memory is the backend a Hierarchy fills from and writes back to.
+// *memsys.Simulator implements it.
+type Memory interface {
+	Access(now units.Duration, addr uint64, op memsys.Op) memsys.Result
+}
+
+// LevelConfig describes one cache level.
+type LevelConfig struct {
+	Name string
+	Size units.Bytes
+	// Assoc is the set associativity (ways).
+	Assoc int
+	// HitLatency is the *exposed* extra load-to-use latency, in core
+	// cycles, of a demand load satisfied at this level rather than the
+	// L1: the raw level latency discounted by what the out-of-order core
+	// hides. (L1 hit latency is folded into a block's BaseCPI.)
+	HitLatency units.Cycles
+}
+
+// PrefetchConfig tunes the LLC stream prefetcher.
+type PrefetchConfig struct {
+	Enabled bool
+	// Streams is the number of concurrently tracked 4 KiB-page streams.
+	Streams int
+	// Depth is how many lines ahead of a trained stream are fetched.
+	Depth int
+	// TrainHits is the number of consecutive sequential accesses required
+	// before a stream starts issuing prefetches.
+	TrainHits int
+}
+
+// Config describes a full hierarchy.
+type Config struct {
+	LineSize units.Bytes
+	Levels   []LevelConfig // ordered from L1 (index 0) to LLC (last)
+	Prefetch PrefetchConfig
+}
+
+// DefaultConfig returns the measurement hierarchy: a 1:10 scale model of
+// the paper's Xeon E5-2600 per-thread stack (32 KiB L1, 256 KiB L2,
+// 2.5 MB LLC slice). Capacities shrink tenfold while workload footprints
+// keep the same footprint-to-capacity ratios, so miss rates and steady-
+// state writeback behaviour are preserved at a tenth of the warm-up cost
+// (DESIGN.md §2, "footprint virtualization").
+func DefaultConfig() Config {
+	return Config{
+		LineSize: 64,
+		Levels: []LevelConfig{
+			{Name: "L1", Size: 32 * units.KiB, Assoc: 8, HitLatency: 0},
+			{Name: "L2", Size: 64 * units.KiB, Assoc: 8, HitLatency: 5},
+			{Name: "LLC", Size: 256 * units.KiB, Assoc: 16, HitLatency: 14},
+		},
+		Prefetch: PrefetchConfig{Enabled: true, Streams: 32, Depth: 8, TrainHits: 2},
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.LineSize <= 0 || (uint64(c.LineSize)&(uint64(c.LineSize)-1)) != 0 {
+		return errors.New("cache: LineSize must be a positive power of two")
+	}
+	if len(c.Levels) == 0 {
+		return errors.New("cache: at least one level required")
+	}
+	for i, l := range c.Levels {
+		if l.Size <= 0 || l.Assoc <= 0 {
+			return fmt.Errorf("cache: level %d (%s): Size and Assoc must be positive", i, l.Name)
+		}
+		sets := uint64(l.Size) / (uint64(c.LineSize) * uint64(l.Assoc))
+		if sets == 0 {
+			return fmt.Errorf("cache: level %d (%s): fewer than one set", i, l.Name)
+		}
+	}
+	if c.Prefetch.Enabled {
+		if c.Prefetch.Streams <= 0 || c.Prefetch.Depth <= 0 || c.Prefetch.TrainHits <= 0 {
+			return errors.New("cache: prefetch parameters must be positive when enabled")
+		}
+	}
+	return nil
+}
+
+// LevelCounters accumulates per-level statistics.
+type LevelCounters struct {
+	Accesses     uint64
+	Hits         uint64
+	DemandMisses uint64
+	Writebacks   uint64 // dirty evictions pushed to the next level (or memory, for the LLC)
+}
+
+// Counters accumulates hierarchy-wide statistics.
+type Counters struct {
+	Levels []LevelCounters
+
+	// Memory traffic.
+	MemDemandReads uint64 // LLC demand miss fills
+	MemPrefReads   uint64 // prefetch fills
+	MemWritebacks  uint64 // dirty LLC evictions
+	MemNTWrites    uint64 // non-temporal stores
+
+	// Prefetcher effectiveness.
+	PrefIssued uint64
+	PrefHits   uint64 // demand accesses satisfied by a completed prefetch
+	PrefLate   uint64 // demand accesses that waited on an in-flight prefetch
+
+	// DemandLoadMisses counts demand *load* misses (stores fill without
+	// stalling); DemandMissLatency sums their exposed latency. Their ratio
+	// is the measured miss penalty MP.
+	DemandLoadMisses  uint64
+	DemandMissLatency units.Duration
+}
+
+// AvgMissPenalty returns the measured average demand-load miss latency —
+// the MP of Eq. 1, in time units (convert to core cycles at the measuring
+// frequency).
+func (c Counters) AvgMissPenalty() units.Duration {
+	if c.DemandLoadMisses == 0 {
+		return 0
+	}
+	return units.Duration(float64(c.DemandMissLatency) / float64(c.DemandLoadMisses))
+}
+
+// MPI returns (demand misses + prefetch fills) per instruction — the
+// paper's MPI, which feeds both Eq. 1 and the bandwidth demand of Eq. 4.
+func (c Counters) MPI(instructions uint64) float64 {
+	if instructions == 0 {
+		return 0
+	}
+	return float64(c.MemDemandReads+c.MemPrefReads) / float64(instructions)
+}
+
+// WBR returns memory writes (writebacks + non-temporal stores) as a
+// fraction of MPI-counted reads. The paper expresses WBR as a percentage
+// of MPKI and notes it exceeds 100% for NITS because of the NT stores.
+func (c Counters) WBR() float64 {
+	reads := c.MemDemandReads + c.MemPrefReads
+	if reads == 0 {
+		return 0
+	}
+	return float64(c.MemWritebacks+c.MemNTWrites) / float64(reads)
+}
+
+type entry struct {
+	tag     uint64
+	valid   bool
+	dirty   bool
+	lru     uint64
+	readyAt units.Duration // for in-flight prefetch fills at the LLC
+	pref    bool           // line was brought in by the prefetcher and not yet demanded
+}
+
+type level struct {
+	cfg      LevelConfig
+	sets     uint64
+	assoc    int
+	entries  []entry // sets × assoc
+	lruClock uint64
+}
+
+func newLevel(cfg LevelConfig, lineSize units.Bytes) *level {
+	sets := uint64(cfg.Size) / (uint64(lineSize) * uint64(cfg.Assoc))
+	return &level{
+		cfg:     cfg,
+		sets:    sets,
+		assoc:   cfg.Assoc,
+		entries: make([]entry, sets*uint64(cfg.Assoc)),
+	}
+}
+
+func (l *level) set(line uint64) []entry {
+	s := line % l.sets
+	return l.entries[s*uint64(l.assoc) : (s+1)*uint64(l.assoc)]
+}
+
+// find returns the way holding line, or nil.
+func (l *level) find(line uint64) *entry {
+	set := l.set(line)
+	for i := range set {
+		if set[i].valid && set[i].tag == line {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// victim returns the way to fill for line: an invalid way if any,
+// otherwise the LRU way. The returned entry still holds the victim's
+// state; the caller handles its writeback before overwriting.
+func (l *level) victim(line uint64) *entry {
+	set := l.set(line)
+	var v *entry
+	for i := range set {
+		if !set[i].valid {
+			return &set[i]
+		}
+		if v == nil || set[i].lru < v.lru {
+			v = &set[i]
+		}
+	}
+	return v
+}
+
+func (l *level) touch(e *entry) {
+	l.lruClock++
+	e.lru = l.lruClock
+}

@@ -1,0 +1,230 @@
+package cache
+
+import (
+	"repro/internal/memsys"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+// Hierarchy is one hardware thread's cache stack. It is not safe for
+// concurrent use; the machine simulator gives each thread its own
+// hierarchy over a shared memory backend (see DESIGN.md: LLC capacity is
+// modelled as a per-thread slice, and threads do not share data —
+// matching SPEC-rate-style and partitioned server workloads).
+type Hierarchy struct {
+	cfg    Config
+	levels []*level
+	mem    Memory
+	pf     *prefetcher
+	ctr    Counters
+}
+
+// Outcome reports how one reference resolved.
+type Outcome struct {
+	// HitLevel is the index of the level that supplied the data, or
+	// len(levels) for memory.
+	HitLevel int
+	// Latency is the exposed load-to-use latency beyond an L1 hit, for
+	// demand loads. Stores report 0 (store-buffer semantics).
+	Latency units.Duration
+	// DemandMiss reports whether the reference missed every level and
+	// required a memory fill.
+	DemandMiss bool
+	// PrefetchHit reports whether the reference was satisfied by a line
+	// the prefetcher brought (or is bringing) in.
+	PrefetchHit bool
+}
+
+// New builds a hierarchy over mem.
+func New(cfg Config, mem Memory) (*Hierarchy, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	h := &Hierarchy{cfg: cfg, mem: mem}
+	for _, lc := range cfg.Levels {
+		h.levels = append(h.levels, newLevel(lc, cfg.LineSize))
+	}
+	h.ctr.Levels = make([]LevelCounters, len(cfg.Levels))
+	if cfg.Prefetch.Enabled {
+		h.pf = newPrefetcher(cfg.Prefetch)
+	}
+	return h, nil
+}
+
+// Config returns the hierarchy's configuration.
+func (h *Hierarchy) Config() Config { return h.cfg }
+
+// Counters returns a snapshot of the accumulated statistics.
+func (h *Hierarchy) Counters() Counters {
+	c := h.ctr
+	c.Levels = append([]LevelCounters(nil), h.ctr.Levels...)
+	return c
+}
+
+// ResetCounters clears statistics, keeping cache contents (for measuring
+// after warm-up).
+func (h *Hierarchy) ResetCounters() {
+	h.ctr = Counters{Levels: make([]LevelCounters, len(h.levels))}
+}
+
+func (h *Hierarchy) line(addr uint64) uint64 { return addr / uint64(h.cfg.LineSize) }
+
+// Access performs one reference at simulated time now on a core running at
+// freq (freq converts cycle-denominated hit latencies to time).
+func (h *Hierarchy) Access(now units.Duration, ref trace.Ref, freq units.Hertz) Outcome {
+	line := h.line(ref.Addr)
+
+	if ref.NonTemporal {
+		// Streaming store: write combining straight to memory; invalidate
+		// any cached copy (no writeback — the store overwrites the line).
+		for _, l := range h.levels {
+			if e := l.find(line); e != nil {
+				e.valid = false
+			}
+		}
+		h.mem.Access(now, ref.Addr, memsys.Write)
+		h.ctr.MemNTWrites++
+		return Outcome{HitLevel: len(h.levels)}
+	}
+
+	for li, l := range h.levels {
+		h.ctr.Levels[li].Accesses++
+		e := l.find(line)
+		if e == nil {
+			continue
+		}
+		// Hit at level li.
+		h.ctr.Levels[li].Hits++
+		l.touch(e)
+		out := Outcome{HitLevel: li}
+		if e.pref {
+			// First demand touch of a prefetched line: count it once and
+			// clear the flag on every level holding the fill (prefetch
+			// promotes to the L2 as well).
+			for lj := li; lj < len(h.levels); lj++ {
+				if ej := h.levels[lj].find(line); ej != nil {
+					ej.pref = false
+				}
+			}
+			h.ctr.PrefHits++
+			out.PrefetchHit = true
+			if e.readyAt > now {
+				// In-flight prefetch: expose the remaining latency.
+				h.ctr.PrefLate++
+				out.Latency = e.readyAt - now
+			}
+		}
+		if !ref.Write {
+			out.Latency += h.levels[li].cfg.HitLatency.Duration(freq)
+			if li == 0 {
+				out.Latency = 0 // L1 hit latency lives in BaseCPI
+			}
+		}
+		if ref.Write {
+			// The line becomes Modified globally: mark every cached copy
+			// dirty so an LLC eviction writes back even while the fresh
+			// copy still sits in an inner level (MESI recall semantics
+			// without explicit back-invalidation messages).
+			for lj := li; lj < len(h.levels); lj++ {
+				if ej := h.levels[lj].find(line); ej != nil {
+					ej.dirty = true
+				}
+			}
+			out.Latency = 0
+		}
+		// Fill upward so inner levels hit next time (inclusive fill).
+		h.fillUpward(now, line, li, ref.Write)
+		// The prefetcher trains on traffic that leaves the L1, the way a
+		// hardware mid-level prefetcher sees L1-miss streams.
+		if h.pf != nil && li >= 1 && !ref.NoPrefetch {
+			h.pf.observe(h, now, line)
+		}
+		return out
+	}
+	llc := len(h.levels) - 1
+
+	// Missed everywhere: demand fill from memory.
+	h.ctr.Levels[llc].DemandMisses++
+	res := h.mem.Access(now, ref.Addr, memsys.Read)
+	h.ctr.MemDemandReads++
+	out := Outcome{HitLevel: len(h.levels), DemandMiss: true}
+	if !ref.Write {
+		out.Latency = res.Latency
+		h.ctr.DemandLoadMisses++
+		h.ctr.DemandMissLatency += res.Latency
+	}
+	h.insert(now, line, llc, ref.Write, false, 0)
+	h.fillUpward(now, line, llc, ref.Write)
+	if h.pf != nil && !ref.NoPrefetch {
+		h.pf.observe(h, now, line)
+	}
+	return out
+}
+
+// fillUpward installs line into every level above upTo (exclusive), so the
+// next access hits the L1. Misses at inner levels are counted against
+// those levels (their DemandMisses), which keeps per-level hit-rate
+// statistics meaningful.
+func (h *Hierarchy) fillUpward(now units.Duration, line uint64, upTo int, write bool) {
+	for li := upTo - 1; li >= 0; li-- {
+		if e := h.levels[li].find(line); e != nil {
+			h.levels[li].touch(e)
+			if write {
+				e.dirty = true
+			}
+			continue
+		}
+		h.ctr.Levels[li].DemandMisses++
+		h.insert(now, line, li, write, false, 0)
+	}
+}
+
+// insert places line into level li, evicting as needed. Dirty victims are
+// written to the next level; dirty LLC victims go to memory.
+func (h *Hierarchy) insert(now units.Duration, line uint64, li int, dirty, pref bool, readyAt units.Duration) {
+	l := h.levels[li]
+	v := l.victim(line)
+	if v.valid {
+		h.evict(now, v, li)
+	}
+	*v = entry{tag: line, valid: true, dirty: dirty, pref: pref, readyAt: readyAt}
+	l.touch(v)
+}
+
+func (h *Hierarchy) evict(now units.Duration, v *entry, li int) {
+	if !v.dirty {
+		v.valid = false
+		return
+	}
+	h.ctr.Levels[li].Writebacks++
+	if li == len(h.levels)-1 {
+		// LLC: write back to memory.
+		h.mem.Access(now, v.tag*uint64(h.cfg.LineSize), memsys.Write)
+		h.ctr.MemWritebacks++
+	} else {
+		// Push dirty data down one level.
+		if e := h.levels[li+1].find(v.tag); e != nil {
+			e.dirty = true
+		} else {
+			h.insert(now, v.tag, li+1, true, false, 0)
+		}
+	}
+	v.valid = false
+}
+
+// prefetchFill is called by the prefetcher to bring line into the LLC
+// (and promote it to the L2, as hardware mid-level prefetchers do) with
+// an in-flight arrival time.
+func (h *Hierarchy) prefetchFill(now units.Duration, line uint64) {
+	llc := len(h.levels) - 1
+	if h.levels[llc].find(line) != nil {
+		return // already present or in flight
+	}
+	res := h.mem.Access(now, line*uint64(h.cfg.LineSize), memsys.Read)
+	h.ctr.MemPrefReads++
+	h.ctr.PrefIssued++
+	h.insert(now, line, llc, false, true, now+res.Latency)
+	if llc >= 1 {
+		h.insert(now, line, llc-1, false, true, now+res.Latency)
+	}
+}

@@ -1,0 +1,67 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation. Each experiment is a pure function from a Scale (run
+// length) to a result struct that cmd/repro renders and bench_test.go
+// times; the per-experiment index lives in DESIGN.md §4.
+package experiments
+
+import (
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// Scale controls how much simulated work each experiment does. Paper
+// fidelity does not need long runs — steady-state statistics converge
+// quickly — but tests want shorter ones still.
+type Scale struct {
+	// WarmupInstr and MeasureInstr are aggregate instruction counts per
+	// machine run.
+	WarmupInstr  uint64
+	MeasureInstr uint64
+	// SampleInterval for time-series figures (0 disables sampling).
+	SampleInterval units.Duration
+	// MLCDuration is the simulated injection time per MLC point.
+	MLCDuration units.Duration
+}
+
+// Full is the scale used by cmd/repro: enough work for fitted parameters
+// to stabilize to within a few percent.
+func Full() Scale {
+	return Scale{
+		WarmupInstr:    30_000_000,
+		MeasureInstr:   12_000_000,
+		SampleInterval: 40 * units.Microsecond,
+		MLCDuration:    150 * units.Microsecond,
+	}
+}
+
+// Quick is the scale used by unit tests: shorter measurement, but warm-up
+// still long enough to fill the LLC slices and reach writeback steady
+// state (the expensive part; see DESIGN.md on the 1:10 scale model).
+func Quick() Scale {
+	return Scale{
+		WarmupInstr:    30_000_000,
+		MeasureInstr:   3_000_000,
+		SampleInterval: 20 * units.Microsecond,
+		MLCDuration:    60 * units.Microsecond,
+	}
+}
+
+// fitPoint converts a simulator measurement into the model's fitting
+// input — the paper's step of reading CPI_eff, MPI and MP off the PMU.
+func fitPoint(m sim.Measurement) model.FitPoint {
+	iosz := 0.0
+	if m.IOPI > 0 && m.Instructions > 0 {
+		// Average bytes per I/O event observed in the run.
+		iosz = float64(m.IOBandwidth) * m.WallTime.Seconds() / (m.IOPI * float64(m.Instructions))
+	}
+	return model.FitPoint{
+		Label: m.Workload + "@" + m.Freq.String() + "/" + m.MemGrade.String(),
+		CPI:   m.CPI,
+		MPI:   m.MPI,
+		MP:    m.MPCycles,
+		WBR:   m.WBR,
+		IOPI:  m.IOPI,
+		IOSZ:  iosz,
+	}
+}

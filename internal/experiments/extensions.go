@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/queueing"
+	"repro/internal/report"
+	"repro/internal/units"
+)
+
+// TieredMemory demonstrates the §VII extension (Eq. 5): a two-tier memory
+// system with a fast DRAM cache in front of a larger, slower
+// emerging-memory pool, evaluated across DRAM-tier hit fractions for each
+// workload class.
+func (s *Suite) TieredMemory() (Artifact, error) {
+	base, err := s.BaselinePlatform()
+	if err != nil {
+		return Artifact{}, err
+	}
+	classes, err := s.ClassParams(false)
+	if err != nil {
+		return Artifact{}, err
+	}
+
+	// Far tier: 3× the latency, 40% of the bandwidth — typical published
+	// characteristics of persistent-memory-class technologies (§VII:
+	// "higher latencies and lower bandwidth").
+	farCompulsory := base.Compulsory * 3
+	farBW := base.PeakBW * units.BytesPerSecond(0.4)
+
+	table := report.NewTable("§VII / Eq. 5: two-tier memory (DRAM cache + emerging memory)",
+		"DRAM-tier hit fraction", "Enterprise CPI", "Big Data CPI", "HPC CPI",
+		"Enterprise vs all-DRAM", "Big Data vs all-DRAM", "HPC vs all-DRAM")
+	chart := report.NewChart("Eq. 5: CPI vs DRAM-tier hit fraction", "near-tier hit fraction", "CPI")
+
+	baseCPI := map[string]float64{}
+	for _, c := range classes {
+		op, err := model.Evaluate(c, base)
+		if err != nil {
+			return Artifact{}, err
+		}
+		baseCPI[c.Name] = op.CPI
+	}
+
+	series := map[string][]float64{}
+	var xs []float64
+	for _, hit := range []float64{1.0, 0.95, 0.9, 0.8, 0.6, 0.4, 0.2, 0.0} {
+		tp := model.TieredPlatform{
+			Name:      fmt.Sprintf("tiered-%.0f%%", hit*100),
+			Threads:   base.Threads,
+			Cores:     base.Cores,
+			CoreSpeed: base.CoreSpeed,
+			LineSize:  base.LineSize,
+			Tiers: []model.Tier{
+				{Name: "DRAM", HitFraction: hit, Compulsory: base.Compulsory, PeakBW: base.PeakBW, Queue: base.Queue},
+				{Name: "PMEM", HitFraction: 1 - hit, Compulsory: farCompulsory, PeakBW: farBW, Queue: base.Queue},
+			},
+		}
+		row := []interface{}{fmtPct(hit)}
+		cpis := map[string]float64{}
+		for _, c := range classes {
+			op, err := model.EvaluateTiered(c, tp)
+			if err != nil {
+				return Artifact{}, err
+			}
+			cpis[c.Name] = op.CPI
+			series[c.Name] = append(series[c.Name], op.CPI)
+		}
+		xs = append(xs, hit)
+		row = append(row, cpis["Enterprise"], cpis["Big Data"], cpis["HPC"],
+			fmtPct(cpis["Enterprise"]/baseCPI["Enterprise"]-1),
+			fmtPct(cpis["Big Data"]/baseCPI["Big Data"]-1),
+			fmtPct(cpis["HPC"]/baseCPI["HPC"]-1))
+		table.AddRow(row...)
+	}
+	for _, c := range classes {
+		if err := chart.AddSeries(c.Name, xs, series[c.Name]); err != nil {
+			return Artifact{}, err
+		}
+	}
+	table.AddNote("far tier: 3x latency, 0.4x bandwidth vs DRAM; Eq. 5 with per-tier loaded latencies")
+	table.AddNote("bandwidth-bound classes (HPC) can IMPROVE at moderate far-tier fractions: the second tier adds aggregate bandwidth, relieving the DRAM channels")
+	return Artifact{ID: "tiered", Tables: []*report.Table{table}, Charts: []*report.Chart{chart}}, nil
+}
+
+// PrefetchAblation reproduces the §VII observation that prefetching
+// effectiveness shows up as blocking factor: it re-fits a scan-heavy and
+// a pointer-heavy workload with the hardware prefetcher disabled and
+// compares the fitted BF against the prefetch-on fit.
+func (s *Suite) PrefetchAblation() (Artifact, error) {
+	table := report.NewTable("§VII ablation: prefetcher effect on fitted blocking factor",
+		"workload", "BF (prefetch on)", "MPKI (on)", "BF (prefetch off)", "MPKI (off)")
+	for _, name := range []string{"columnstore", "bwaves", "oltp"} {
+		on, err := s.Fit(name)
+		if err != nil {
+			return Artifact{}, err
+		}
+		off, err := fitWithoutPrefetch(name, s.Scale)
+		if err != nil {
+			return Artifact{}, err
+		}
+		table.AddRow(name, on.Params.BF, on.Params.MPKI, off.Params.BF, off.Params.MPKI)
+	}
+	table.AddNote("'an improved prefetching technique will increase memory-level parallelism and will lower the blocking factor' (§VII)")
+	return Artifact{ID: "prefetch-ablation", Tables: []*report.Table{table}}, nil
+}
+
+// QueueCurveAblation compares the measured composite queuing curve with
+// the analytic M/M/1 alternative across the §VI.C studies (DESIGN.md §5).
+func (s *Suite) QueueCurveAblation() (Artifact, error) {
+	classes, err := s.ClassParams(false)
+	if err != nil {
+		return Artifact{}, err
+	}
+	measured, err := s.BaselinePlatform()
+	if err != nil {
+		return Artifact{}, err
+	}
+	mm1 := measured
+	mm1.Queue = queueing.MM1{Service: 6 * units.Nanosecond, ULimit: 0.95}
+	mm1.Name = "baseline-mm1"
+	md1 := measured
+	md1.Queue = queueing.MD1{Service: 6 * units.Nanosecond, ULimit: 0.95}
+	md1.Name = "baseline-md1"
+
+	table := report.NewTable("Ablation: measured composite vs analytic M/M/1 and M/D/1 curves",
+		"class", "CPI (measured)", "CPI (M/M/1)", "CPI (M/D/1)", "M/M/1 diff", "M/D/1 diff")
+	for _, c := range classes {
+		opM, err := model.Evaluate(c, measured)
+		if err != nil {
+			return Artifact{}, err
+		}
+		opMM, err := model.Evaluate(c, mm1)
+		if err != nil {
+			return Artifact{}, err
+		}
+		opMD, err := model.Evaluate(c, md1)
+		if err != nil {
+			return Artifact{}, err
+		}
+		table.AddRow(c.Name, opM.CPI, opMM.CPI, opMD.CPI,
+			fmtPct(opMM.CPI/opM.CPI-1), fmtPct(opMD.CPI/opM.CPI-1))
+	}
+	table.AddNote("the analytic forms bracket the measured curve; class CPIs move ≤ a few %% at baseline utilizations")
+	return Artifact{ID: "queue-ablation", Tables: []*report.Table{table}}, nil
+}

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/memsys"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/units"
+	"repro/internal/workloads"
+)
+
+// ScalingConfig is one core-speed/memory-speed point of the §V.A
+// methodology ("varying the core speed and memory speed of the system
+// under test").
+type ScalingConfig struct {
+	CoreGHz float64
+	Grade   memsys.Grade
+}
+
+// PaperScalingConfigs returns the paper's grid: core speeds 2.1, 2.4,
+// 2.7, 3.1 GHz (Table 3) at the baseline and reduced memory speeds.
+func PaperScalingConfigs() []ScalingConfig {
+	var out []ScalingConfig
+	for _, g := range []memsys.Grade{memsys.DDR3_1867, memsys.DDR3_1333} {
+		for _, f := range []float64{2.1, 2.4, 2.7, 3.1} {
+			out = append(out, ScalingConfig{CoreGHz: f, Grade: g})
+		}
+	}
+	return out
+}
+
+// machineConfig builds the measurement platform for one workload at one
+// scaling point. Thread count follows the workload (HPC fits use 6
+// threads, §V.N); prefetching and cache geometry are fixed.
+func machineConfig(w workloads.Workload, sc ScalingConfig) sim.Config {
+	cfg := sim.DefaultConfig()
+	cfg.Threads = w.FitThreads()
+	cfg.Core.Freq = units.GHzOf(sc.CoreGHz)
+	cfg.Mem.Grade = sc.Grade
+	return cfg
+}
+
+// RunWorkload performs a single measured run of a workload at one scaling
+// point — the unit of data collection behind Figs. 2–5.
+func RunWorkload(w workloads.Workload, sc ScalingConfig, scale Scale, sample bool) (sim.Measurement, error) {
+	cfg := machineConfig(w, sc)
+	if sample {
+		cfg.SampleInterval = scale.SampleInterval
+	}
+	m, err := sim.New(cfg, w.Name(), w)
+	if err != nil {
+		return sim.Measurement{}, err
+	}
+	return m.Run(scale.WarmupInstr, scale.MeasureInstr)
+}
+
+// FitWorkload runs the full scaling grid for one workload and fits
+// Eq. 1's constants (Fig. 3 / Tables 2, 4, 5).
+func FitWorkload(w workloads.Workload, configs []ScalingConfig, scale Scale) (model.Fit, []sim.Measurement, error) {
+	var points []model.FitPoint
+	var runs []sim.Measurement
+	for _, sc := range configs {
+		m, err := RunWorkload(w, sc, scale, false)
+		if err != nil {
+			return model.Fit{}, nil, fmt.Errorf("experiments: fit %s at %.1fGHz/%v: %w", w.Name(), sc.CoreGHz, sc.Grade, err)
+		}
+		runs = append(runs, m)
+		points = append(points, fitPoint(m))
+	}
+	fit, err := model.FitScaling(w.Name(), points)
+	if err != nil {
+		return model.Fit{}, nil, err
+	}
+	return fit, runs, nil
+}
+
+// FitClass fits every workload of a class and returns the fits in
+// registry order.
+func FitClass(c workloads.Class, scale Scale) ([]model.Fit, error) {
+	var fits []model.Fit
+	for _, w := range workloads.ByClass(c) {
+		fit, _, err := FitWorkload(w, PaperScalingConfigs(), scale)
+		if err != nil {
+			return nil, err
+		}
+		fits = append(fits, fit)
+	}
+	return fits, nil
+}
+
+// fitWithoutPrefetch reruns a workload's scaling grid with the hardware
+// prefetcher disabled — the §VII ablation.
+func fitWithoutPrefetch(name string, scale Scale) (model.Fit, error) {
+	w, err := workloads.ByName(name)
+	if err != nil {
+		return model.Fit{}, err
+	}
+	var points []model.FitPoint
+	for _, sc := range PaperScalingConfigs() {
+		cfg := machineConfig(w, sc)
+		cfg.Cache.Prefetch.Enabled = false
+		m, err := sim.New(cfg, w.Name(), w)
+		if err != nil {
+			return model.Fit{}, err
+		}
+		meas, err := m.Run(scale.WarmupInstr, scale.MeasureInstr)
+		if err != nil {
+			return model.Fit{}, err
+		}
+		points = append(points, fitPoint(meas))
+	}
+	return model.FitScaling(name+"-nopf", points)
+}
+
+// DefaultCacheConfig is re-exported for tools that want the measurement
+// hierarchy.
+func DefaultCacheConfig() cache.Config { return cache.DefaultConfig() }

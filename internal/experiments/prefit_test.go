@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestPrefitConcurrentConsistency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("parallel scaling fits")
+	}
+	// Two cheap workloads fitted in parallel must match serial fits on a
+	// fresh suite (fits are deterministic and computed exactly once).
+	names := []string{"raytrace", "interp"}
+	par := NewSuite(Quick())
+	if err := par.Prefit(names, 2); err != nil {
+		t.Fatal(err)
+	}
+	ser := NewSuite(Quick())
+	for _, n := range names {
+		pf, err := par.Fit(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sf, err := ser.Fit(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pf.Params != sf.Params || pf.R2 != sf.R2 {
+			t.Fatalf("%s: parallel fit diverged from serial", n)
+		}
+	}
+}
+
+func TestPrefitPropagatesErrors(t *testing.T) {
+	s := NewSuite(Quick())
+	if err := s.Prefit([]string{"no-such-workload"}, 1); err == nil {
+		t.Fatal("want error for unknown workload")
+	}
+}
+
+func TestPrefitZeroParallelism(t *testing.T) {
+	// parallelism ≤ 0 means one worker per name; must still work.
+	s := NewSuite(Scale{WarmupInstr: 500_000, MeasureInstr: 500_000})
+	if err := s.Prefit(nil, 0); err != nil {
+		t.Fatal(err)
+	}
+}

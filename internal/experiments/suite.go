@@ -1,0 +1,229 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/memsys"
+	"repro/internal/model"
+	"repro/internal/params"
+	"repro/internal/queueing"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/units"
+	"repro/internal/workloads"
+)
+
+// Artifact is a rendered experiment: the tables and charts that
+// correspond to one table or figure of the paper.
+type Artifact struct {
+	ID     string // e.g. "fig7", "table2"
+	Tables []*report.Table
+	Charts []*report.Chart
+}
+
+// Text renders the artifact as plain text.
+func (a Artifact) Text() string {
+	out := ""
+	for _, t := range a.Tables {
+		out += t.ASCII() + "\n"
+	}
+	for _, c := range a.Charts {
+		out += c.ASCII() + "\n"
+	}
+	return out
+}
+
+// Suite runs the paper's experiments with shared, cached intermediate
+// results: workload fits are reused across Fig. 3, Tables 2/4/5 and
+// Fig. 6, and the calibrated queuing curve is reused across Figs. 8–11
+// and Table 7. Fits for different workloads may be computed concurrently
+// (Prefit); each workload's grid runs exactly once per suite.
+type Suite struct {
+	Scale Scale
+
+	mu      sync.Mutex
+	entries map[string]*fitEntry
+	curve   queueing.Curve
+	// measured efficiency of the baseline memory system (Fig. 7 run)
+	baseEff float64
+}
+
+// fitEntry computes one workload's scaling fit exactly once, even under
+// concurrent callers.
+type fitEntry struct {
+	once sync.Once
+	fit  model.Fit
+	runs []sim.Measurement
+	err  error
+}
+
+// NewSuite creates a Suite at the given scale.
+func NewSuite(scale Scale) *Suite {
+	return &Suite{
+		Scale:   scale,
+		entries: map[string]*fitEntry{},
+	}
+}
+
+func (s *Suite) entry(name string) *fitEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[name]
+	if !ok {
+		e = &fitEntry{}
+		s.entries[name] = e
+	}
+	return e
+}
+
+// Fit returns the cached scaling fit for a workload, running the grid on
+// first use. Safe for concurrent use; the grid runs once per workload.
+func (s *Suite) Fit(name string) (model.Fit, error) {
+	e := s.entry(name)
+	e.once.Do(func() {
+		w, err := workloads.ByName(name)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.fit, e.runs, e.err = FitWorkload(w, PaperScalingConfigs(), s.Scale)
+	})
+	return e.fit, e.err
+}
+
+// FitRuns returns the per-configuration measurements behind a fit.
+func (s *Suite) FitRuns(name string) ([]sim.Measurement, error) {
+	if _, err := s.Fit(name); err != nil {
+		return nil, err
+	}
+	return s.entry(name).runs, nil
+}
+
+// Prefit computes the named workloads' fits concurrently (bounded by
+// parallelism; ≤0 means one worker per workload). Subsequent Fit calls
+// hit the cache. The first error is returned after all workers finish.
+func (s *Suite) Prefit(names []string, parallelism int) error {
+	if parallelism <= 0 || parallelism > len(names) {
+		parallelism = len(names)
+	}
+	sem := make(chan struct{}, parallelism)
+	errs := make(chan error, len(names))
+	var wg sync.WaitGroup
+	for _, name := range names {
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if _, err := s.Fit(name); err != nil {
+				errs <- fmt.Errorf("prefit %s: %w", name, err)
+			}
+		}(name)
+	}
+	wg.Wait()
+	close(errs)
+	return <-errs
+}
+
+// ClassFits returns the fits for every workload of a class.
+func (s *Suite) ClassFits(c workloads.Class) ([]model.Fit, error) {
+	var fits []model.Fit
+	for _, w := range workloads.ByClass(c) {
+		f, err := s.Fit(w.Name())
+		if err != nil {
+			return nil, err
+		}
+		fits = append(fits, f)
+	}
+	return fits, nil
+}
+
+// Curve returns the composite queuing curve calibrated from the Fig. 7
+// MLC sweep, cached after the first call.
+func (s *Suite) Curve() (queueing.Curve, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.curve != nil {
+		return s.curve, nil
+	}
+	curve, eff, err := CalibrateQueueCurve(s.Scale)
+	if err != nil {
+		return nil, err
+	}
+	s.curve = curve
+	s.baseEff = eff
+	return s.curve, nil
+}
+
+// BaselinePlatform returns the paper's §VI.C.2 baseline over the
+// calibrated curve.
+func (s *Suite) BaselinePlatform() (model.Platform, error) {
+	curve, err := s.Curve()
+	if err != nil {
+		return model.Platform{}, err
+	}
+	return model.BaselinePlatform(curve), nil
+}
+
+// ClassParams returns the Table 6 class models used by the §VI.C
+// sensitivity studies. By default they are the paper's published class
+// means; with fitted=true they are recomputed from this suite's own fits
+// (Proximity excluded from the big-data mean, as §VI.B does).
+func (s *Suite) ClassParams(fitted bool) ([]model.Params, error) {
+	if !fitted {
+		var out []model.Params
+		for _, t := range params.Table6 {
+			out = append(out, model.Params{
+				Name:     t.Workload,
+				CPICache: t.CPICache,
+				BF:       t.BF,
+				MPKI:     t.MPKI,
+				WBR:      t.WBR,
+			})
+		}
+		return out, nil
+	}
+	classes := []struct {
+		name    string
+		class   workloads.Class
+		exclude string
+	}{
+		{"Enterprise", workloads.Enterprise, ""},
+		{"Big Data", workloads.BigData, "proximity"},
+		{"HPC", workloads.HPC, ""},
+	}
+	var out []model.Params
+	for _, c := range classes {
+		fits, err := s.ClassFits(c.class)
+		if err != nil {
+			return nil, err
+		}
+		var members []model.Params
+		for _, f := range fits {
+			if f.Params.Name == c.exclude {
+				continue
+			}
+			members = append(members, f.Params)
+		}
+		mean, err := model.ClassMean(c.name, members)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, mean)
+	}
+	return out, nil
+}
+
+// memsysConfigFor returns the baseline memory system at a given grade.
+func memsysConfigFor(grade memsys.Grade) memsys.Config {
+	cfg := memsys.DefaultConfig()
+	cfg.Grade = grade
+	return cfg
+}
+
+// fmtPct renders a fraction as a percentage string.
+func fmtPct(f float64) string { return fmt.Sprintf("%.0f%%", f*100) }
+
+// fmtNS renders a duration in ns.
+func fmtNS(d units.Duration) string { return fmt.Sprintf("%.1f", d.Nanoseconds()) }

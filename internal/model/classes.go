@@ -1,0 +1,122 @@
+package model
+
+import (
+	"errors"
+	"sort"
+
+	"repro/internal/regress"
+)
+
+// ClassPoint is one workload's position in the Fig. 6 plane: blocking
+// factor (latency sensitivity) on x, memory references per cycle
+// (bandwidth demand at CPI_eff = CPI_cache) on y.
+type ClassPoint struct {
+	Workload     string
+	Class        string
+	BF           float64
+	RefsPerCycle float64
+}
+
+// Fig6Point projects params into the Fig. 6 plane.
+func Fig6Point(p Params, class string) ClassPoint {
+	return ClassPoint{
+		Workload:     p.Name,
+		Class:        class,
+		BF:           p.BF,
+		RefsPerCycle: p.ReferencesPerCycle(),
+	}
+}
+
+// ClassMean computes the paper's per-class "mean" parameters (the red
+// markers of Fig. 6, and the rows of Table 6) by averaging each component
+// across the class members.
+func ClassMean(name string, members []Params) (Params, error) {
+	if len(members) == 0 {
+		return Params{}, errors.New("model: ClassMean of no members")
+	}
+	var m Params
+	m.Name = name
+	for _, p := range members {
+		m.CPICache += p.CPICache
+		m.BF += p.BF
+		m.MPKI += p.MPKI
+		m.WBR += p.WBR
+		m.IOPI += p.IOPI
+		m.IOSZ += p.IOSZ
+	}
+	n := float64(len(members))
+	m.CPICache /= n
+	m.BF /= n
+	m.MPKI /= n
+	m.WBR /= n
+	m.IOPI /= n
+	if m.IOPI > 0 {
+		m.IOSZ /= n
+	} else {
+		m.IOSZ = 0
+	}
+	return m, nil
+}
+
+// Cluster groups workload points in the Fig. 6 plane with k-means,
+// recovering the paper's observation that "each workload class forms its
+// own distinct cluster". Axes are normalized to [0,1] before clustering
+// so neither dominates.
+func Cluster(points []ClassPoint, k int) (regress.Clustering, error) {
+	if len(points) < k {
+		return regress.Clustering{}, errors.New("model: fewer points than clusters")
+	}
+	maxBF, maxRef := 0.0, 0.0
+	for _, p := range points {
+		if p.BF > maxBF {
+			maxBF = p.BF
+		}
+		if p.RefsPerCycle > maxRef {
+			maxRef = p.RefsPerCycle
+		}
+	}
+	if maxBF == 0 {
+		maxBF = 1
+	}
+	if maxRef == 0 {
+		maxRef = 1
+	}
+	pts := make([]regress.Point, len(points))
+	for i, p := range points {
+		pts[i] = regress.Point{p.BF / maxBF, p.RefsPerCycle / maxRef}
+	}
+	return regress.KMeans(pts, k)
+}
+
+// ClusterPurity reports, for a clustering of points with known class
+// labels, the fraction of points whose cluster's majority class matches
+// their own — 1.0 means the clusters recover the classes exactly.
+func ClusterPurity(points []ClassPoint, clustering regress.Clustering) float64 {
+	if len(points) == 0 || len(clustering.Assignment) != len(points) {
+		return 0
+	}
+	counts := map[int]map[string]int{}
+	for i, p := range points {
+		c := clustering.Assignment[i]
+		if counts[c] == nil {
+			counts[c] = map[string]int{}
+		}
+		counts[c][p.Class]++
+	}
+	correct := 0
+	for _, byClass := range counts {
+		names := make([]string, 0, len(byClass))
+		for n := range byClass {
+			names = append(names, n)
+		}
+		sort.Strings(names) // deterministic tie break
+		best := ""
+		for _, n := range names {
+			if best == "" || byClass[n] > byClass[best] {
+				best = n
+			}
+		}
+		correct += byClass[best]
+	}
+	return float64(correct) / float64(len(points))
+}

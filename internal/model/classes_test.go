@@ -1,0 +1,99 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/regress"
+)
+
+func TestClassMeanMatchesTable6Arithmetic(t *testing.T) {
+	// The paper's Table 2 big-data rows (NITS WBR reconstructed) must
+	// average to its Table 6 big-data class mean, Proximity excluded.
+	members := []Params{
+		{Name: "columnstore", CPICache: 0.89, BF: 0.20, MPKI: 5.6, WBR: 0.32},
+		{Name: "nits", CPICache: 0.96, BF: 0.18, MPKI: 5.0, WBR: 1.80},
+		{Name: "spark", CPICache: 0.90, BF: 0.25, MPKI: 6.0, WBR: 0.64},
+	}
+	mean, err := ClassMean("Big Data", members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mean.CPICache-0.9167) > 0.001 {
+		t.Fatalf("CPI_cache mean = %v, want ≈0.917 (paper prints 0.91)", mean.CPICache)
+	}
+	if math.Abs(mean.BF-0.21) > 0.001 {
+		t.Fatalf("BF mean = %v, want 0.21", mean.BF)
+	}
+	if math.Abs(mean.MPKI-5.533) > 0.001 {
+		t.Fatalf("MPKI mean = %v, want ≈5.53 (paper prints 5.5)", mean.MPKI)
+	}
+	if math.Abs(mean.WBR-0.92) > 0.001 {
+		t.Fatalf("WBR mean = %v, want 0.92 — this is what pins NITS WBR at 180%%", mean.WBR)
+	}
+}
+
+func TestClassMeanEmpty(t *testing.T) {
+	if _, err := ClassMean("x", nil); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestFig6Point(t *testing.T) {
+	pt := Fig6Point(hpcClass(), "HPC")
+	if pt.Class != "HPC" || pt.Workload != "HPC" {
+		t.Fatalf("labels: %+v", pt)
+	}
+	if math.Abs(pt.BF-0.07) > 1e-12 {
+		t.Fatalf("BF = %v", pt.BF)
+	}
+	if pt.RefsPerCycle <= 0 {
+		t.Fatal("refs/cycle must be positive")
+	}
+}
+
+func fig6TestPoints() []ClassPoint {
+	return []ClassPoint{
+		{Workload: "oltp", Class: "Enterprise", BF: 0.55, RefsPerCycle: 0.006},
+		{Workload: "virt", Class: "Enterprise", BF: 0.45, RefsPerCycle: 0.006},
+		{Workload: "jvm", Class: "Enterprise", BF: 0.30, RefsPerCycle: 0.005},
+		{Workload: "web", Class: "Enterprise", BF: 0.35, RefsPerCycle: 0.005},
+		{Workload: "cs", Class: "Big Data", BF: 0.20, RefsPerCycle: 0.008},
+		{Workload: "nits", Class: "Big Data", BF: 0.18, RefsPerCycle: 0.015},
+		{Workload: "spark", Class: "Big Data", BF: 0.25, RefsPerCycle: 0.011},
+		{Workload: "bwaves", Class: "HPC", BF: 0.05, RefsPerCycle: 0.060},
+		{Workload: "milc", Class: "HPC", BF: 0.06, RefsPerCycle: 0.055},
+		{Workload: "soplex", Class: "HPC", BF: 0.11, RefsPerCycle: 0.037},
+		{Workload: "wrf", Class: "HPC", BF: 0.06, RefsPerCycle: 0.030},
+	}
+}
+
+func TestClusterRecoversPaperClasses(t *testing.T) {
+	// "each workload class forms its own distinct cluster" (§VI.B).
+	points := fig6TestPoints()
+	clustering, err := Cluster(points, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	purity := ClusterPurity(points, clustering)
+	if purity < 0.9 {
+		t.Fatalf("purity = %v, want ≥0.9 on the paper's own geometry", purity)
+	}
+}
+
+func TestClusterErrors(t *testing.T) {
+	if _, err := Cluster(fig6TestPoints()[:2], 3); err == nil {
+		t.Fatal("want error for fewer points than clusters")
+	}
+}
+
+func TestClusterPurityDegenerate(t *testing.T) {
+	if got := ClusterPurity(nil, regress.Clustering{}); got != 0 {
+		t.Fatalf("purity of nothing = %v", got)
+	}
+	// Mismatched assignment length also yields 0, not a panic.
+	pts := fig6TestPoints()
+	if got := ClusterPurity(pts, regress.Clustering{Assignment: []int{0}}); got != 0 {
+		t.Fatalf("purity with mismatched assignment = %v", got)
+	}
+}

@@ -1,0 +1,137 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+// syntheticPoints generates exact Eq. 1 measurements for a known
+// parameter set across the paper's scaling grid.
+func syntheticPoints(cpiCache, bf, mpi float64) []FitPoint {
+	var pts []FitPoint
+	for _, mp := range []units.Cycles{200, 250, 300, 350, 420, 480} {
+		pts = append(pts, FitPoint{
+			Label: "synthetic",
+			CPI:   cpiCache + mpi*float64(mp)*bf,
+			MPI:   mpi,
+			MP:    mp,
+			WBR:   0.3,
+		})
+	}
+	return pts
+}
+
+func TestFitScalingRecoversTruth(t *testing.T) {
+	fit, err := FitScaling("synthetic", syntheticPoints(0.89, 0.20, 0.0056))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Params.CPICache-0.89) > 1e-9 {
+		t.Fatalf("CPI_cache = %v, want 0.89", fit.Params.CPICache)
+	}
+	if math.Abs(fit.Params.BF-0.20) > 1e-9 {
+		t.Fatalf("BF = %v, want 0.20", fit.Params.BF)
+	}
+	if math.Abs(fit.Params.MPKI-5.6) > 1e-9 {
+		t.Fatalf("MPKI = %v, want 5.6", fit.Params.MPKI)
+	}
+	if fit.R2 < 0.9999 {
+		t.Fatalf("R2 = %v", fit.R2)
+	}
+}
+
+// Property: FitScaling recovers arbitrary plausible parameters from
+// exact Eq. 1 data — the §V.A methodology is self-consistent.
+func TestFitScalingRecoveryProperty(t *testing.T) {
+	f := func(cRaw, bRaw, mRaw float64) bool {
+		cpiCache := 0.5 + math.Abs(math.Mod(cRaw, 2))
+		bf := math.Abs(math.Mod(bRaw, 0.6))
+		mpi := 0.001 + math.Abs(math.Mod(mRaw, 0.03))
+		fit, err := FitScaling("p", syntheticPoints(cpiCache, bf, mpi))
+		if err != nil {
+			return false
+		}
+		return math.Abs(fit.Params.CPICache-cpiCache) < 1e-6 &&
+			math.Abs(fit.Params.BF-bf) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFitScalingClampsNegativeBF(t *testing.T) {
+	// Noise on a core-bound workload can fit a slightly negative slope;
+	// the paper treats such workloads as BF ≈ 0.
+	pts := []FitPoint{
+		{CPI: 1.001, MPI: 0.0001, MP: 200},
+		{CPI: 1.000, MPI: 0.0001, MP: 300},
+		{CPI: 0.999, MPI: 0.0001, MP: 400},
+	}
+	fit, err := FitScaling("corebound", pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Params.BF != 0 {
+		t.Fatalf("BF = %v, want clamped to 0", fit.Params.BF)
+	}
+}
+
+func TestFitScalingErrors(t *testing.T) {
+	if _, err := FitScaling("x", nil); err == nil {
+		t.Fatal("want error for no points")
+	}
+	if _, err := FitScaling("x", syntheticPoints(1, 0.2, 0.005)[:1]); err == nil {
+		t.Fatal("want error for one point")
+	}
+}
+
+func TestValidateTable3Style(t *testing.T) {
+	fit, err := FitScaling("synthetic", syntheticPoints(0.89, 0.20, 0.0056))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := fit.Validate()
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, v := range rows {
+		if math.Abs(v.Error) > 1e-9 {
+			t.Fatalf("exact data must validate exactly: %+v", v)
+		}
+		if v.Computed != fit.Params.CPICache+fit.Params.BF*v.MPI*float64(v.MP) {
+			t.Fatalf("computed mismatch: %+v", v)
+		}
+	}
+	if fit.MaxAbsError() > 1e-9 {
+		t.Fatalf("MaxAbsError = %v", fit.MaxAbsError())
+	}
+}
+
+func TestValidateUsesPerPointMPI(t *testing.T) {
+	// Two points with different MPIs: validation must use each point's
+	// own MPI (Table 3 reports per-run values), not the fit average.
+	pts := []FitPoint{
+		{CPI: 1 + 0.004*200*0.2, MPI: 0.004, MP: 200},
+		{CPI: 1 + 0.008*300*0.2, MPI: 0.008, MP: 300},
+		{CPI: 1 + 0.006*400*0.2, MPI: 0.006, MP: 400},
+	}
+	fit, err := FitScaling("x", pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range fit.Validate() {
+		if math.Abs(v.Error) > 0.02 {
+			t.Fatalf("per-point validation error too large: %+v", v)
+		}
+	}
+}
+
+func TestFitPointX(t *testing.T) {
+	pt := FitPoint{MPI: 0.0056, MP: 400}
+	if got := pt.X(); math.Abs(got-2.24) > 1e-12 {
+		t.Fatalf("X = %v, want 2.24", got)
+	}
+}

@@ -1,0 +1,187 @@
+package model
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/queueing"
+	"repro/internal/units"
+)
+
+// Tier is one level of a multi-tier memory system (§VII): for example a
+// fast DRAM cache in front of a large emerging-memory pool. Each tier has
+// its own compulsory latency, deliverable bandwidth, and queuing curve.
+type Tier struct {
+	Name string
+	// HitFraction is the fraction of LLC misses served by this tier.
+	// Fractions across tiers must sum to 1.
+	HitFraction float64
+	Compulsory  units.Duration
+	PeakBW      units.BytesPerSecond
+	Queue       queueing.Curve
+}
+
+// TieredPlatform is a Platform whose memory is a hierarchy of Tiers;
+// Eq. 5 replaces Eq. 1:
+//
+//	CPI_eff = CPI_cache + (MPI₁×MP₁ + MPI₂×MP₂ + …) × BF
+type TieredPlatform struct {
+	Name      string
+	Threads   int
+	Cores     int
+	CoreSpeed units.Hertz
+	LineSize  units.Bytes
+	Tiers     []Tier
+}
+
+// Validate reports configuration errors.
+func (tp TieredPlatform) Validate() error {
+	if tp.Threads <= 0 || tp.Cores <= 0 || tp.CoreSpeed <= 0 || tp.LineSize <= 0 {
+		return errors.New("model: TieredPlatform core parameters must be positive")
+	}
+	if len(tp.Tiers) == 0 {
+		return errors.New("model: TieredPlatform needs at least one tier")
+	}
+	sum := 0.0
+	for _, t := range tp.Tiers {
+		if t.HitFraction < 0 || t.HitFraction > 1 {
+			return fmt.Errorf("model: tier %s: HitFraction out of [0,1]", t.Name)
+		}
+		if t.Compulsory <= 0 || t.PeakBW <= 0 || t.Queue == nil {
+			return fmt.Errorf("model: tier %s: incomplete configuration", t.Name)
+		}
+		sum += t.HitFraction
+	}
+	if sum < 0.999 || sum > 1.001 {
+		return fmt.Errorf("model: tier hit fractions sum to %.3f, want 1", sum)
+	}
+	return nil
+}
+
+// TierPoint reports one tier's share of a tiered operating point.
+type TierPoint struct {
+	Name        string
+	MissPenalty units.Duration
+	Demand      units.BytesPerSecond
+	Utilization float64
+	Saturated   bool
+}
+
+// TieredOperatingPoint is the stable solution of Eq. 5 with per-tier
+// loaded latencies.
+type TieredOperatingPoint struct {
+	CPI            float64
+	Tiers          []TierPoint
+	BandwidthBound bool
+	Iterations     int
+}
+
+// EvaluateTiered finds the Eq. 5 fixed point: each tier's loaded latency
+// depends on its share of the traffic, which depends on CPI, which
+// depends on all tiers' loaded latencies. The coupling is through the
+// single scalar CPI, and the map c → Eq5(c) is decreasing in c (a slower
+// core demands less bandwidth, so queues shrink), so the fixed point is
+// found by bisection, like the single-tier solver.
+func EvaluateTiered(p Params, tp TieredPlatform) (TieredOperatingPoint, error) {
+	if err := p.Validate(); err != nil {
+		return TieredOperatingPoint{}, err
+	}
+	if err := tp.Validate(); err != nil {
+		return TieredOperatingPoint{}, err
+	}
+
+	systems := make([]queueing.System, len(tp.Tiers))
+	for i, t := range tp.Tiers {
+		systems[i] = queueing.System{Compulsory: t.Compulsory, PeakBW: t.PeakBW, Curve: t.Queue}
+	}
+
+	// eq5At evaluates Eq. 5 with each tier's loaded latency implied by
+	// the demand at candidate CPI c, and reports the per-tier state.
+	eq5At := func(c float64) (float64, []TierPoint) {
+		demandTotal := p.Demand(c, tp.CoreSpeed, tp.LineSize) * units.BytesPerSecond(tp.Threads)
+		cpi := p.CPICache
+		tiers := make([]TierPoint, len(tp.Tiers))
+		for i, t := range tp.Tiers {
+			d := demandTotal * units.BytesPerSecond(t.HitFraction)
+			mp := systems[i].LoadedLatency(d)
+			cpi += p.MPI() * t.HitFraction * float64(mp.Cycles(tp.CoreSpeed)) * p.BF
+			tiers[i] = TierPoint{
+				Name:        t.Name,
+				MissPenalty: mp,
+				Demand:      d,
+				Utilization: systems[i].Utilization(d),
+			}
+		}
+		return cpi, tiers
+	}
+
+	// Bracket: CPI at zero queuing ≤ fixed point ≤ CPI at max stable
+	// queuing on every tier.
+	lo := p.CPICache
+	for _, t := range tp.Tiers {
+		lo += p.MPI() * t.HitFraction * float64(t.Compulsory.Cycles(tp.CoreSpeed)) * p.BF
+	}
+	hi := p.CPICache
+	for i, t := range tp.Tiers {
+		maxMP := t.Compulsory + systems[i].Curve.MaxStableDelay()
+		hi += p.MPI() * t.HitFraction * float64(maxMP.Cycles(tp.CoreSpeed)) * p.BF
+	}
+
+	var out TieredOperatingPoint
+	const (
+		maxIter = 200
+		tol     = 1e-9
+	)
+	for iter := 0; iter < maxIter; iter++ {
+		mid := (lo + hi) / 2
+		got, tiers := eq5At(mid)
+		out.CPI = got
+		out.Tiers = tiers
+		out.Iterations = iter + 1
+		if math.Abs(got-mid) < tol || hi-lo < tol {
+			break
+		}
+		if got > mid {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if iter == maxIter-1 {
+			return out, queueing.ErrNoSolution
+		}
+	}
+	// Bandwidth-limit check per tier: a tier whose share of the traffic
+	// saturates its channels bounds the whole pipeline. As in the
+	// single-tier model, the final CPI is the worse of the
+	// latency-limited CPI and each tier's bandwidth-limited CPI (Eq. 4
+	// with BW set to the tier's available bandwidth for its share).
+	for i, t := range tp.Tiers {
+		demandTotal := p.Demand(out.CPI, tp.CoreSpeed, tp.LineSize) * units.BytesPerSecond(tp.Threads)
+		d := demandTotal * units.BytesPerSecond(t.HitFraction)
+		if float64(d) >= float64(t.PeakBW)*0.999 {
+			out.BandwidthBound = true
+			out.Tiers[i].Saturated = true
+			share := p.BytesPerInstruction(tp.LineSize) * t.HitFraction
+			bwCPI := share * float64(tp.CoreSpeed) / (float64(t.PeakBW) / float64(tp.Threads))
+			if bwCPI > out.CPI {
+				out.CPI = bwCPI
+			}
+		}
+	}
+	return out, nil
+}
+
+// PrefetchBFImprovement estimates the §VII observation that a better
+// prefetcher lowers the blocking factor: given a fraction of misses
+// converted from demand to timely prefetch, the exposed fraction of the
+// miss penalty scales down proportionally.
+func PrefetchBFImprovement(p Params, coverage float64) (Params, error) {
+	if coverage < 0 || coverage > 1 {
+		return Params{}, errors.New("model: prefetch coverage must be in [0,1]")
+	}
+	q := p
+	q.Name = fmt.Sprintf("%s+pf%.0f%%", p.Name, coverage*100)
+	q.BF = p.BF * (1 - coverage)
+	return q, nil
+}

@@ -1,0 +1,212 @@
+package model
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/queueing"
+	"repro/internal/units"
+)
+
+// The paper closes by noting the model "can be extended in a
+// straightforward way to model additional memory architectures such as
+// multi-socket" (§VIII). This file is that extension: a symmetric
+// multi-socket platform where a fraction of each socket's misses resolve
+// to a remote socket over an interconnect with its own latency adder and
+// bandwidth ceiling.
+//
+// The construction mirrors Eq. 5: the miss population splits into a
+// local share (socket-local channels, local compulsory latency) and a
+// remote share (remote channels plus the interconnect hop), each with a
+// self-consistent loaded latency. Remote traffic loads BOTH the remote
+// socket's channels (symmetrically, every socket serves its peers'
+// remote accesses) and the interconnect links.
+
+// NUMAPlatform describes a symmetric multi-socket machine.
+type NUMAPlatform struct {
+	Name    string
+	Sockets int
+	// ThreadsPerSocket and CoresPerSocket describe one socket.
+	ThreadsPerSocket int
+	CoresPerSocket   int
+	CoreSpeed        units.Hertz
+	LineSize         units.Bytes
+
+	// LocalCompulsory is the unloaded latency to socket-local DRAM;
+	// RemoteAdder is the extra unloaded latency of a remote hop (QPI-era
+	// parts measured ~50–70 ns).
+	LocalCompulsory units.Duration
+	RemoteAdder     units.Duration
+
+	// SocketPeakBW is one socket's deliverable DRAM bandwidth;
+	// LinkPeakBW is the interconnect bandwidth available to one socket's
+	// remote traffic.
+	SocketPeakBW units.BytesPerSecond
+	LinkPeakBW   units.BytesPerSecond
+
+	// RemoteFraction is the fraction of LLC misses served by a remote
+	// socket (0 = perfect NUMA locality, 1−1/Sockets = uniform
+	// interleaving).
+	RemoteFraction float64
+
+	// Queue shapes the queuing delay of both DRAM and link (utilization
+	// normalized to each resource's own peak).
+	Queue queueing.Curve
+}
+
+// Validate reports configuration errors.
+func (np NUMAPlatform) Validate() error {
+	switch {
+	case np.Sockets < 1:
+		return errors.New("model: NUMAPlatform.Sockets must be ≥1")
+	case np.ThreadsPerSocket <= 0 || np.CoresPerSocket <= 0:
+		return errors.New("model: NUMAPlatform thread/core counts must be positive")
+	case np.CoreSpeed <= 0 || np.LineSize <= 0:
+		return errors.New("model: NUMAPlatform core parameters must be positive")
+	case np.LocalCompulsory <= 0 || np.RemoteAdder < 0:
+		return errors.New("model: NUMAPlatform latencies must be positive")
+	case np.SocketPeakBW <= 0 || np.LinkPeakBW <= 0:
+		return errors.New("model: NUMAPlatform bandwidths must be positive")
+	case np.RemoteFraction < 0 || np.RemoteFraction > 1:
+		return errors.New("model: RemoteFraction must be in [0,1]")
+	case np.Queue == nil:
+		return errors.New("model: NUMAPlatform.Queue must be set")
+	}
+	if np.Sockets == 1 && np.RemoteFraction > 0 {
+		return errors.New("model: single socket cannot have remote accesses")
+	}
+	return nil
+}
+
+// UniformInterleave returns the remote fraction of an address space
+// interleaved evenly across all sockets: (Sockets−1)/Sockets.
+func (np NUMAPlatform) UniformInterleave() float64 {
+	if np.Sockets <= 1 {
+		return 0
+	}
+	return float64(np.Sockets-1) / float64(np.Sockets)
+}
+
+// WithRemoteFraction returns a copy with a different locality mix.
+func (np NUMAPlatform) WithRemoteFraction(f float64) NUMAPlatform {
+	np.RemoteFraction = f
+	np.Name = fmt.Sprintf("%s@remote=%.0f%%", np.Name, f*100)
+	return np
+}
+
+// NUMAOperatingPoint is the per-socket stable solution (sockets are
+// symmetric, so one socket describes the machine).
+type NUMAOperatingPoint struct {
+	CPI            float64
+	LocalMP        units.Duration       // loaded latency of local misses
+	RemoteMP       units.Duration       // loaded latency of remote misses (incl. hop)
+	EffectiveMP    units.Duration       // traffic-weighted miss penalty
+	DRAMDemand     units.BytesPerSecond // per-socket DRAM traffic (local + inbound remote)
+	LinkDemand     units.BytesPerSecond // per-socket interconnect traffic
+	DRAMUtil       float64
+	LinkUtil       float64
+	BandwidthBound bool
+}
+
+// EvaluateNUMA finds the stable operating point of workload class p on a
+// symmetric NUMA platform. The scalar fixed point is the per-thread CPI,
+// found by bisection as in EvaluateTiered.
+func EvaluateNUMA(p Params, np NUMAPlatform) (NUMAOperatingPoint, error) {
+	if err := p.Validate(); err != nil {
+		return NUMAOperatingPoint{}, err
+	}
+	if err := np.Validate(); err != nil {
+		return NUMAOperatingPoint{}, err
+	}
+
+	dram := queueing.System{Compulsory: np.LocalCompulsory, PeakBW: np.SocketPeakBW, Curve: np.Queue}
+	link := queueing.System{Compulsory: np.RemoteAdder, PeakBW: np.LinkPeakBW, Curve: np.Queue}
+	rf := np.RemoteFraction
+
+	at := func(cpi float64) (float64, NUMAOperatingPoint) {
+		perSocket := p.Demand(cpi, np.CoreSpeed, np.LineSize) * units.BytesPerSecond(np.ThreadsPerSocket)
+		// Symmetry: a socket's DRAM serves its own local traffic plus the
+		// remote traffic other sockets direct at it — which, for a
+		// symmetric mix, equals its own remote traffic.
+		dramDemand := perSocket // local (1−rf) + inbound remote rf
+		linkDemand := perSocket * units.BytesPerSecond(rf)
+
+		localMP := dram.LoadedLatency(dramDemand)
+		// A remote miss pays the remote socket's loaded DRAM latency plus
+		// the interconnect hop (with the link's own queuing).
+		remoteMP := localMP + link.LoadedLatency(linkDemand)
+
+		eff := units.Duration((1-rf)*float64(localMP) + rf*float64(remoteMP))
+		got := p.CPIEffAt(eff, np.CoreSpeed)
+		return got, NUMAOperatingPoint{
+			LocalMP:     localMP,
+			RemoteMP:    remoteMP,
+			EffectiveMP: eff,
+			DRAMDemand:  dramDemand,
+			LinkDemand:  linkDemand,
+			DRAMUtil:    dram.Utilization(dramDemand),
+			LinkUtil:    link.Utilization(linkDemand),
+		}
+	}
+
+	// Bracket the fixed point between the zero-queue and max-queue CPIs.
+	minMP := units.Duration((1-rf)*float64(np.LocalCompulsory) + rf*float64(np.LocalCompulsory+np.RemoteAdder))
+	maxDelay := np.Queue.MaxStableDelay()
+	maxMP := minMP + maxDelay + units.Duration(rf*float64(maxDelay))
+	lo, hi := p.CPIEffAt(minMP, np.CoreSpeed), p.CPIEffAt(maxMP, np.CoreSpeed)
+
+	var out NUMAOperatingPoint
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		got, op := at(mid)
+		out = op
+		out.CPI = got
+		if diff := got - mid; diff < 1e-9 && diff > -1e-9 || hi-lo < 1e-9 {
+			break
+		} else if diff > 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+
+	// Bandwidth limits: DRAM per socket, then the link for remote share.
+	if float64(out.DRAMDemand) >= float64(np.SocketPeakBW)*0.999 {
+		out.BandwidthBound = true
+		bwCPI := p.BytesPerInstruction(np.LineSize) * float64(np.CoreSpeed) /
+			(float64(np.SocketPeakBW) / float64(np.ThreadsPerSocket))
+		if bwCPI > out.CPI {
+			out.CPI = bwCPI
+		}
+	}
+	if rf > 0 && float64(out.LinkDemand) >= float64(np.LinkPeakBW)*0.999 {
+		out.BandwidthBound = true
+		bwCPI := p.BytesPerInstruction(np.LineSize) * rf * float64(np.CoreSpeed) /
+			(float64(np.LinkPeakBW) / float64(np.ThreadsPerSocket))
+		if bwCPI > out.CPI {
+			out.CPI = bwCPI
+		}
+	}
+	return out, nil
+}
+
+// DualSocketBaseline builds the two-socket version of the paper's
+// baseline: each socket is the §VI.C.2 single-socket platform, with a
+// QPI-era interconnect (60 ns hop, 25 GB/s per direction per socket).
+func DualSocketBaseline(curve queueing.Curve) NUMAPlatform {
+	single := BaselinePlatform(curve)
+	return NUMAPlatform{
+		Name:             "dual-socket-baseline",
+		Sockets:          2,
+		ThreadsPerSocket: single.Threads,
+		CoresPerSocket:   single.Cores,
+		CoreSpeed:        single.CoreSpeed,
+		LineSize:         single.LineSize,
+		LocalCompulsory:  single.Compulsory,
+		RemoteAdder:      60 * units.Nanosecond,
+		SocketPeakBW:     single.PeakBW,
+		LinkPeakBW:       units.GBpsOf(25),
+		RemoteFraction:   0,
+		Queue:            curve,
+	}
+}

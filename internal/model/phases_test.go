@@ -1,0 +1,145 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestPathlengthThroughput(t *testing.T) {
+	// 2.5e9 cycles/s at CPI 1.25 and 10k instructions/txn →
+	// 2.5e9/(1.25×1e4) = 200k txn/s.
+	pl := Pathlength(10_000)
+	got := pl.Throughput(1.25, units.GHzOf(2.5))
+	if math.Abs(got-200_000) > 1 {
+		t.Fatalf("throughput = %v, want 200000", got)
+	}
+	if Pathlength(0).Throughput(1, units.GHzOf(2.5)) != 0 {
+		t.Fatal("zero pathlength must give 0")
+	}
+	if pl.Throughput(0, units.GHzOf(2.5)) != 0 {
+		t.Fatal("zero CPI must give 0")
+	}
+}
+
+func TestPathlengthRunTime(t *testing.T) {
+	pl := Pathlength(10_000)
+	// 200k txn/s → 1M txns in 5 s.
+	got := pl.RunTime(1_000_000, 1.25, units.GHzOf(2.5))
+	if math.Abs(got.Seconds()-5) > 1e-9 {
+		t.Fatalf("run time = %v, want 5s", got)
+	}
+	if Pathlength(0).RunTime(1, 1, units.GHzOf(2.5)) != 0 {
+		t.Fatal("degenerate run time must be 0")
+	}
+}
+
+func TestCombinePhasesSingleIsIdentity(t *testing.T) {
+	p := bigDataClass()
+	got, err := CombinePhases("x", []Phase{{Params: p, Weight: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.CPICache-p.CPICache) > 1e-12 || math.Abs(got.BF-p.BF) > 1e-12 ||
+		math.Abs(got.MPKI-p.MPKI) > 1e-12 || math.Abs(got.WBR-p.WBR) > 1e-12 {
+		t.Fatalf("identity combine changed params: %+v", got)
+	}
+}
+
+func TestCombinePhasesWeights(t *testing.T) {
+	compute := Params{Name: "compute", CPICache: 0.8, BF: 0, MPKI: 0.1, WBR: 0}
+	memory := Params{Name: "memory", CPICache: 1.2, BF: 0.4, MPKI: 10, WBR: 0.5}
+	got, err := CombinePhases("mix", []Phase{
+		{Params: compute, Weight: 0.5},
+		{Params: memory, Weight: 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.CPICache-1.0) > 1e-12 {
+		t.Fatalf("CPI_cache = %v, want 1.0", got.CPICache)
+	}
+	if math.Abs(got.MPKI-5.05) > 1e-12 {
+		t.Fatalf("MPKI = %v, want 5.05", got.MPKI)
+	}
+	// BF blends by miss traffic: (0.05×0 + 5×0.4)/5.05.
+	wantBF := 5.0 * 0.4 / 5.05
+	if math.Abs(got.BF-wantBF) > 1e-12 {
+		t.Fatalf("BF = %v, want %v (miss-weighted)", got.BF, wantBF)
+	}
+}
+
+func TestCombinePhasesErrors(t *testing.T) {
+	if _, err := CombinePhases("x", nil); err == nil {
+		t.Fatal("want error for no phases")
+	}
+	p := bigDataClass()
+	if _, err := CombinePhases("x", []Phase{{Params: p, Weight: 0.5}}); err == nil {
+		t.Fatal("want error for weights not summing to 1")
+	}
+	if _, err := CombinePhases("x", []Phase{{Params: p, Weight: -1}, {Params: p, Weight: 2}}); err == nil {
+		t.Fatal("want error for negative weight")
+	}
+	if _, err := CombinePhases("x", []Phase{{Params: Params{}, Weight: 1}}); err == nil {
+		t.Fatal("want error for invalid phase params")
+	}
+}
+
+func TestPhaseCPIMatchesDirectForUniformPhases(t *testing.T) {
+	// Identical phases: the weighted phase CPI equals the direct CPI.
+	pl := testPlatform()
+	p := enterpriseClass()
+	direct, err := Evaluate(p, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phased, ops, err := PhaseCPI([]Phase{
+		{Params: p, Weight: 0.3},
+		{Params: p, Weight: 0.7},
+	}, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 2 {
+		t.Fatalf("ops = %d", len(ops))
+	}
+	if math.Abs(phased-direct.CPI) > 1e-9 {
+		t.Fatalf("phase CPI %v vs direct %v", phased, direct.CPI)
+	}
+}
+
+func TestPhaseCPIHandlesMixedRegimes(t *testing.T) {
+	// A compute phase plus an HPC-like phase: the weighted result falls
+	// strictly between the phase CPIs.
+	pl := testPlatform()
+	compute := Params{Name: "compute", CPICache: 1.0, BF: 0.01, MPKI: 0.1, WBR: 0.3}
+	heavy := hpcClass()
+	cpi, ops, err := PhaseCPI([]Phase{
+		{Params: compute, Weight: 0.5},
+		{Params: heavy, Weight: 0.5},
+	}, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := ops[0].CPI, ops[1].CPI
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if cpi <= lo || cpi >= hi {
+		t.Fatalf("weighted CPI %v outside phase range [%v, %v]", cpi, lo, hi)
+	}
+}
+
+func TestPhaseCPIErrors(t *testing.T) {
+	pl := testPlatform()
+	if _, _, err := PhaseCPI(nil, pl); err == nil {
+		t.Fatal("want error for no phases")
+	}
+	if _, _, err := PhaseCPI([]Phase{{Params: bigDataClass(), Weight: 0.2}}, pl); err == nil {
+		t.Fatal("want error for bad weights")
+	}
+	if _, _, err := PhaseCPI([]Phase{{Params: Params{}, Weight: 1}}, pl); err == nil {
+		t.Fatal("want error for invalid params")
+	}
+}

@@ -1,0 +1,173 @@
+package model
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/params"
+	"repro/internal/queueing"
+	"repro/internal/units"
+)
+
+// Platform is the supply side of the model: the machine a workload class
+// is evaluated on. It corresponds to the paper's §VI.C baseline and its
+// variations (channel count, channel speed, efficiency, compulsory
+// latency).
+type Platform struct {
+	Name string
+	// Threads is the number of hardware threads generating demand (the
+	// paper scales Eq. 4 "with total core count (or hardware thread count
+	// in the case of multithreaded processors)").
+	Threads int
+	// Cores is the physical core count, used only for per-core
+	// normalization of bandwidth (the x axes of Figs. 8/9).
+	Cores     int
+	CoreSpeed units.Hertz
+	LineSize  units.Bytes
+	// Compulsory is the unloaded memory latency.
+	Compulsory units.Duration
+	// PeakBW is the deliverable (post-efficiency) memory bandwidth.
+	PeakBW units.BytesPerSecond
+	// Queue maps bandwidth utilization to queuing delay.
+	Queue queueing.Curve
+}
+
+// Validate reports configuration errors.
+func (pl Platform) Validate() error {
+	switch {
+	case pl.Threads <= 0:
+		return errors.New("model: Platform.Threads must be positive")
+	case pl.Cores <= 0:
+		return errors.New("model: Platform.Cores must be positive")
+	case pl.CoreSpeed <= 0:
+		return errors.New("model: Platform.CoreSpeed must be positive")
+	case pl.LineSize <= 0:
+		return errors.New("model: Platform.LineSize must be positive")
+	case pl.Compulsory <= 0:
+		return errors.New("model: Platform.Compulsory must be positive")
+	case pl.PeakBW <= 0:
+		return errors.New("model: Platform.PeakBW must be positive")
+	case pl.Queue == nil:
+		return errors.New("model: Platform.Queue must be set")
+	}
+	return nil
+}
+
+// PerCoreBW returns deliverable bandwidth per physical core (Fig. 8's
+// normalization).
+func (pl Platform) PerCoreBW() units.BytesPerSecond {
+	return pl.PeakBW / units.BytesPerSecond(pl.Cores)
+}
+
+// WithCompulsory returns a copy with a different unloaded latency.
+func (pl Platform) WithCompulsory(c units.Duration) Platform {
+	pl.Compulsory = c
+	pl.Name = fmt.Sprintf("%s@%v", pl.Name, c)
+	return pl
+}
+
+// WithPeakBW returns a copy with a different deliverable bandwidth.
+func (pl Platform) WithPeakBW(bw units.BytesPerSecond) Platform {
+	pl.PeakBW = bw
+	pl.Name = fmt.Sprintf("%s@%v", pl.Name, bw)
+	return pl
+}
+
+// BaselinePlatform builds the paper's §VI.C.2 baseline over the given
+// queuing curve (calibrated separately, Fig. 7).
+func BaselinePlatform(curve queueing.Curve) Platform {
+	b := params.Baseline()
+	return Platform{
+		Name:       "baseline-1S8C-4xDDR3-1867",
+		Threads:    b.Cores * b.ThreadsPerCore,
+		Cores:      b.Cores,
+		CoreSpeed:  b.CoreSpeed,
+		LineSize:   b.LineSize,
+		Compulsory: b.Compulsory,
+		PeakBW:     b.EffectiveBandwidth(),
+		Queue:      curve,
+	}
+}
+
+// OperatingPoint is the model's stable solution for one workload class on
+// one platform.
+type OperatingPoint struct {
+	CPI            float64              // effective CPI per hardware thread
+	MissPenalty    units.Duration       // loaded latency (compulsory + queue)
+	MissPenaltyCyc units.Cycles         // same, in core cycles
+	QueueDelay     units.Duration       // queuing component
+	Demand         units.BytesPerSecond // total demand across threads
+	Delivered      units.BytesPerSecond // min(demand, peak)
+	Utilization    float64
+	BandwidthBound bool // operating at channel saturation
+}
+
+// Throughput returns aggregate instructions per second across threads —
+// the performance measure CPI inverts (with pathlength fixed, §IV.A).
+func (op OperatingPoint) Throughput(pl Platform) float64 {
+	if op.CPI <= 0 {
+		return 0
+	}
+	return float64(pl.CoreSpeed) / op.CPI * float64(pl.Threads)
+}
+
+// Evaluate finds the stable operating point of workload class p on
+// platform pl, per §VI.C.1: an iterative fixed-point between miss penalty
+// and bandwidth demand, switching to the bandwidth-limited CPI when the
+// channel saturates.
+func Evaluate(p Params, pl Platform) (OperatingPoint, error) {
+	if err := p.Validate(); err != nil {
+		return OperatingPoint{}, err
+	}
+	if err := pl.Validate(); err != nil {
+		return OperatingPoint{}, err
+	}
+
+	sys := queueing.System{Compulsory: pl.Compulsory, PeakBW: pl.PeakBW, Curve: pl.Queue}
+	demand := func(mp units.Duration) units.BytesPerSecond {
+		cpi := p.CPIEffAt(mp, pl.CoreSpeed)
+		return p.Demand(cpi, pl.CoreSpeed, pl.LineSize) * units.BytesPerSecond(pl.Threads)
+	}
+	sol, err := queueing.Solve(sys, demand, queueing.SolveOptions{})
+	if err != nil {
+		return OperatingPoint{}, err
+	}
+
+	op := OperatingPoint{
+		MissPenalty:    sol.MissPenalty,
+		MissPenaltyCyc: sol.MissPenalty.Cycles(pl.CoreSpeed),
+		QueueDelay:     sol.Queue,
+		Demand:         sol.Demand,
+		Utilization:    sol.Utilization,
+	}
+	op.CPI = p.CPIEffAt(sol.MissPenalty, pl.CoreSpeed)
+
+	if sol.Saturated {
+		// At saturation the latency model underestimates: take the worse
+		// of the latency-limited CPI (at maximum stable queuing delay)
+		// and the bandwidth-limited CPI from Eq. 4.
+		availPerThread := pl.PeakBW / units.BytesPerSecond(pl.Threads)
+		bwCPI, err := p.BandwidthLimitedCPI(availPerThread, pl.CoreSpeed, pl.LineSize)
+		if err != nil {
+			return OperatingPoint{}, err
+		}
+		if bwCPI > op.CPI {
+			op.CPI = bwCPI
+			op.BandwidthBound = true
+		}
+	}
+	op.Delivered = op.Demand
+	if op.Delivered > pl.PeakBW {
+		op.Delivered = pl.PeakBW
+	}
+	// Demand reported at the final CPI.
+	op.Demand = p.Demand(op.CPI, pl.CoreSpeed, pl.LineSize) * units.BytesPerSecond(pl.Threads)
+	if op.Demand > pl.PeakBW {
+		op.BandwidthBound = true
+		op.Delivered = pl.PeakBW
+	} else {
+		op.Delivered = op.Demand
+	}
+	op.Utilization = sys.Utilization(op.Demand)
+	return op, nil
+}

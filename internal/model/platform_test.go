@@ -1,0 +1,249 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/queueing"
+	"repro/internal/units"
+)
+
+func testCurve() queueing.Curve {
+	return queueing.MM1{Service: 6 * units.Nanosecond, ULimit: 0.95}
+}
+
+func testPlatform() Platform {
+	return BaselinePlatform(testCurve())
+}
+
+func TestBaselinePlatformMatchesPaper(t *testing.T) {
+	pl := testPlatform()
+	if pl.Cores != 8 || pl.Threads != 16 {
+		t.Fatalf("cores/threads = %d/%d", pl.Cores, pl.Threads)
+	}
+	if pl.Compulsory != 75 {
+		t.Fatalf("compulsory = %v", pl.Compulsory)
+	}
+	if got := pl.PeakBW.GBps(); math.Abs(got-41.8) > 0.5 {
+		t.Fatalf("peak = %v, want ≈41.8", got)
+	}
+	if got := pl.PerCoreBW().GBps(); math.Abs(got-5.23) > 0.1 {
+		t.Fatalf("per-core = %v, want ≈5.25", got)
+	}
+	if err := pl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlatformValidate(t *testing.T) {
+	bad := []func(*Platform){
+		func(p *Platform) { p.Threads = 0 },
+		func(p *Platform) { p.Cores = 0 },
+		func(p *Platform) { p.CoreSpeed = 0 },
+		func(p *Platform) { p.LineSize = 0 },
+		func(p *Platform) { p.Compulsory = 0 },
+		func(p *Platform) { p.PeakBW = 0 },
+		func(p *Platform) { p.Queue = nil },
+	}
+	for i, mutate := range bad {
+		pl := testPlatform()
+		mutate(&pl)
+		if err := pl.Validate(); err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+}
+
+func TestWithModifiers(t *testing.T) {
+	pl := testPlatform()
+	p2 := pl.WithCompulsory(85 * units.Nanosecond)
+	if p2.Compulsory != 85 || pl.Compulsory != 75 {
+		t.Fatal("WithCompulsory must copy")
+	}
+	p3 := pl.WithPeakBW(units.GBpsOf(30))
+	if p3.PeakBW != units.GBpsOf(30) || pl.PeakBW == p3.PeakBW {
+		t.Fatal("WithPeakBW must copy")
+	}
+}
+
+func TestEvaluateLatencyLimitedClosedForm(t *testing.T) {
+	// With a zero-service queue curve the model reduces to the pure
+	// Eq. 1 at the compulsory latency.
+	pl := testPlatform()
+	pl.Queue = queueing.MM1{Service: 0, ULimit: 0.95}
+	p := enterpriseClass()
+	op, err := Evaluate(p, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := p.CPIEffAt(75*units.Nanosecond, pl.CoreSpeed)
+	if math.Abs(op.CPI-want) > 1e-6 {
+		t.Fatalf("CPI = %v, want closed-form %v", op.CPI, want)
+	}
+	if op.BandwidthBound {
+		t.Fatal("enterprise must not be bandwidth bound at baseline")
+	}
+	if op.QueueDelay != 0 {
+		t.Fatalf("queue = %v, want 0", op.QueueDelay)
+	}
+}
+
+func TestEvaluateHPCBandwidthBoundAtBaseline(t *testing.T) {
+	// §VI.C.3: "the workload class model for HPC is bandwidth bound even
+	// with four DDR3-1867 channels".
+	op, err := Evaluate(hpcClass(), testPlatform())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !op.BandwidthBound {
+		t.Fatal("HPC must be bandwidth bound at the baseline")
+	}
+	// Bandwidth-limited CPI: bytes/instr × CPS / per-thread bandwidth.
+	p := hpcClass()
+	want, _ := p.BandwidthLimitedCPI(testPlatform().PeakBW/16, units.GHzOf(2.5), 64)
+	if math.Abs(op.CPI-want) > 0.02*want {
+		t.Fatalf("CPI = %v, want ≈%v (bandwidth-limited)", op.CPI, want)
+	}
+}
+
+func TestEvaluateEnterpriseUtilization(t *testing.T) {
+	op, err := Evaluate(enterpriseClass(), testPlatform())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~0.69 GB/s per thread × 16 ≈ 11 GB/s of ≈42 → ~26%.
+	if op.Utilization < 0.2 || op.Utilization > 0.33 {
+		t.Fatalf("utilization = %v, want ≈0.26", op.Utilization)
+	}
+}
+
+func TestEvaluateValidates(t *testing.T) {
+	if _, err := Evaluate(Params{}, testPlatform()); err == nil {
+		t.Fatal("want param error")
+	}
+	pl := testPlatform()
+	pl.Queue = nil
+	if _, err := Evaluate(bigDataClass(), pl); err == nil {
+		t.Fatal("want platform error")
+	}
+}
+
+// Property: CPI is nondecreasing in compulsory latency.
+func TestCPIMonotoneInLatency(t *testing.T) {
+	pl := testPlatform()
+	classes := []Params{bigDataClass(), enterpriseClass(), hpcClass()}
+	f := func(aRaw, bRaw float64) bool {
+		a := 50 + math.Abs(math.Mod(aRaw, 200))
+		b := 50 + math.Abs(math.Mod(bRaw, 200))
+		if a > b {
+			a, b = b, a
+		}
+		for _, c := range classes {
+			opA, err := Evaluate(c, pl.WithCompulsory(units.Duration(a)))
+			if err != nil {
+				return false
+			}
+			opB, err := Evaluate(c, pl.WithCompulsory(units.Duration(b)))
+			if err != nil {
+				return false
+			}
+			if opB.CPI < opA.CPI-1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: CPI is nonincreasing in available bandwidth.
+func TestCPIMonotoneInBandwidth(t *testing.T) {
+	pl := testPlatform()
+	classes := []Params{bigDataClass(), enterpriseClass(), hpcClass()}
+	f := func(aRaw, bRaw float64) bool {
+		a := 10 + math.Abs(math.Mod(aRaw, 70))
+		b := 10 + math.Abs(math.Mod(bRaw, 70))
+		if a > b {
+			a, b = b, a
+		}
+		for _, c := range classes {
+			opA, err := Evaluate(c, pl.WithPeakBW(units.GBpsOf(a)))
+			if err != nil {
+				return false
+			}
+			opB, err := Evaluate(c, pl.WithPeakBW(units.GBpsOf(b)))
+			if err != nil {
+				return false
+			}
+			if opB.CPI > opA.CPI+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThroughputInvertsCPI(t *testing.T) {
+	pl := testPlatform()
+	op, err := Evaluate(bigDataClass(), pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2.5e9 / op.CPI * 16
+	if math.Abs(op.Throughput(pl)-want) > 1 {
+		t.Fatalf("throughput = %v, want %v", op.Throughput(pl), want)
+	}
+	var zero OperatingPoint
+	if zero.Throughput(pl) != 0 {
+		t.Fatal("zero CPI throughput must be 0")
+	}
+}
+
+func TestFig11Headline(t *testing.T) {
+	// The paper's headline sensitivity numbers: +10ns costs ≈3.5% for
+	// enterprise, ≈2.5% for big data, ≈0% for HPC.
+	pl := testPlatform()
+	measure := func(p Params) float64 {
+		base, err := Evaluate(p, pl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		more, err := Evaluate(p, pl.WithCompulsory(85*units.Nanosecond))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return more.CPI/base.CPI - 1
+	}
+	if got := measure(enterpriseClass()); got < 0.030 || got > 0.040 {
+		t.Fatalf("enterprise +10ns = %.2f%%, want ≈3.5%%", got*100)
+	}
+	if got := measure(bigDataClass()); got < 0.020 || got > 0.030 {
+		t.Fatalf("big data +10ns = %.2f%%, want ≈2.5%%", got*100)
+	}
+	if got := measure(hpcClass()); got > 0.005 {
+		t.Fatalf("HPC +10ns = %.2f%%, want ≈0%%", got*100)
+	}
+}
+
+func TestHPCBandwidthHeadline(t *testing.T) {
+	// Table 7: ~24% benefit for HPC from the last 1 GB/s/core.
+	pl := testPlatform()
+	base, err := Evaluate(hpcClass(), pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	less, err := Evaluate(hpcClass(), pl.WithPeakBW(pl.PeakBW-units.GBpsOf(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	benefit := less.CPI/base.CPI - 1
+	if benefit < 0.18 || benefit > 0.30 {
+		t.Fatalf("HPC benefit per 1GB/s/core = %.1f%%, want ≈24%%", benefit*100)
+	}
+}

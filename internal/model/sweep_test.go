@@ -1,0 +1,182 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/units"
+)
+
+func allClasses() []Params {
+	return []Params{enterpriseClass(), bigDataClass(), hpcClass()}
+}
+
+func TestBandwidthSweepShape(t *testing.T) {
+	sweep, err := BandwidthSweep(testPlatform(), allClasses(), PaperBandwidthVariants())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep.Points) != len(PaperBandwidthVariants()) {
+		t.Fatalf("points = %d", len(sweep.Points))
+	}
+	// Points are sorted by delta; the baseline (delta 0) is last.
+	last := sweep.Points[len(sweep.Points)-1]
+	if math.Abs(last.DeltaPerCore) > 1e-9 {
+		t.Fatalf("last delta = %v, want 0 (baseline)", last.DeltaPerCore)
+	}
+	for _, c := range allClasses() {
+		if math.Abs(last.CPIIncrease[c.Name]) > 1e-9 {
+			t.Fatalf("baseline CPI increase for %s = %v, want 0", c.Name, last.CPIIncrease[c.Name])
+		}
+	}
+	// Fig. 8's ordering at the deepest reduction: HPC > Big Data >
+	// Enterprise.
+	worst := sweep.Points[0]
+	if !(worst.CPIIncrease["HPC"] > worst.CPIIncrease["Big Data"] &&
+		worst.CPIIncrease["Big Data"] > worst.CPIIncrease["Enterprise"]) {
+		t.Fatalf("class ordering wrong at worst point: %+v", worst.CPIIncrease)
+	}
+	// Enterprise stays under ~5% everywhere ("the enterprise class shows
+	// the least [impact]").
+	for _, pt := range sweep.Points {
+		if pt.CPIIncrease["Enterprise"] > 0.06 {
+			t.Fatalf("enterprise impact %v at %v — too sensitive", pt.CPIIncrease["Enterprise"], pt.Platform.Name)
+		}
+	}
+}
+
+func TestBigDataKneeNear2500MBs(t *testing.T) {
+	// Fig. 8: big data "does show significant impact when peak bandwidth
+	// is reduced by more than 2.5GB/s per core".
+	sweep, err := BandwidthSweep(testPlatform(), []Params{bigDataClass()}, PaperBandwidthVariants())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range sweep.Points {
+		inc := pt.CPIIncrease["Big Data"]
+		switch {
+		case pt.DeltaPerCore > -1.4 && inc > 0.05:
+			t.Fatalf("big data impact %v at mild reduction %v", inc, pt.DeltaPerCore)
+		case pt.DeltaPerCore < -3.0 && inc < 0.10:
+			t.Fatalf("big data impact only %v at deep reduction %v", inc, pt.DeltaPerCore)
+		}
+	}
+}
+
+func TestLatencySweepShape(t *testing.T) {
+	sweep, err := LatencySweep(testPlatform(), allClasses(), 6, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep.Points) != 7 {
+		t.Fatalf("points = %d, want 7 (0..60ns)", len(sweep.Points))
+	}
+	final := sweep.Points[len(sweep.Points)-1]
+	// Fig. 10 ordering at +60ns: Enterprise > Big Data > HPC ≈ 0.
+	if !(final.CPIIncrease["Enterprise"] > final.CPIIncrease["Big Data"]) {
+		t.Fatalf("enterprise must be most latency sensitive: %+v", final.CPIIncrease)
+	}
+	if final.CPIIncrease["HPC"] > 0.01 {
+		t.Fatalf("HPC latency sensitivity = %v, want ≈0 (bandwidth bound)", final.CPIIncrease["HPC"])
+	}
+	// Near-linearity (§VI.C.3): successive enterprise steps differ by
+	// little.
+	derivs := sweep.Derivative(func(pt SweepPoint) float64 { return pt.DeltaPerCore })
+	first := derivs[0].PerUnit["Enterprise"]
+	last := derivs[len(derivs)-1].PerUnit["Enterprise"]
+	if math.Abs(first-last) > 0.35*math.Abs(first) {
+		t.Fatalf("enterprise latency response not near-linear: %v vs %v", first, last)
+	}
+}
+
+func TestLatencySweepErrors(t *testing.T) {
+	if _, err := LatencySweep(testPlatform(), allClasses(), 0, 10); err == nil {
+		t.Fatal("want error for zero steps")
+	}
+	if _, err := LatencySweep(testPlatform(), nil, 3, 10); err == nil {
+		t.Fatal("want error for no classes")
+	}
+}
+
+func TestDerivativeSkipsZeroWidth(t *testing.T) {
+	sw := Sweep{Classes: allClasses(), Points: []SweepPoint{
+		{DeltaPerCore: 0, CPIIncrease: map[string]float64{"Enterprise": 0}},
+		{DeltaPerCore: 0, CPIIncrease: map[string]float64{"Enterprise": 1}},
+	}}
+	if got := sw.Derivative(func(pt SweepPoint) float64 { return 0 }); len(got) != 0 {
+		t.Fatalf("zero-width derivative points = %d, want 0", len(got))
+	}
+}
+
+func TestPaperBandwidthVariantsEffectiveBW(t *testing.T) {
+	vs := PaperBandwidthVariants()
+	if vs[0].Label != "4ch DDR3-1867 (baseline)" {
+		t.Fatalf("first variant = %q", vs[0].Label)
+	}
+	base := vs[0].EffectiveBW().GBps()
+	if math.Abs(base-41.8) > 0.5 {
+		t.Fatalf("baseline effective = %v", base)
+	}
+	for _, v := range vs[1:] {
+		if v.EffectiveBW() >= vs[0].EffectiveBW() {
+			t.Fatalf("variant %q is not a reduction", v.Label)
+		}
+	}
+}
+
+func TestEquivalencesHeadlines(t *testing.T) {
+	eqs, err := Equivalences(testPlatform(), allClasses())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byClass := map[string]Equivalence{}
+	for _, eq := range eqs {
+		byClass[eq.Class] = eq
+	}
+	// Table 7 shapes: enterprise/big-data BW benefit under ~2%; latency
+	// benefit ≈ 2.4–3.5%; HPC ≈ 24% BW benefit and no latency benefit.
+	ent := byClass["Enterprise"]
+	if ent.BWBenefit > 0.02 || ent.LatBenefit < 0.025 || ent.LatBenefit > 0.045 {
+		t.Fatalf("enterprise equivalence: %+v", ent)
+	}
+	hpc := byClass["HPC"]
+	if hpc.BWBenefit < 0.18 || hpc.BWBenefit > 0.30 {
+		t.Fatalf("HPC BW benefit = %v, want ≈0.24", hpc.BWBenefit)
+	}
+	if hpc.LatBenefit > 0.005 {
+		t.Fatalf("HPC latency benefit = %v, want ≈0", hpc.LatBenefit)
+	}
+	if !math.IsInf(hpc.BWEquivLat, 1) {
+		t.Fatalf("HPC: no latency cut can match bandwidth; got %v", hpc.BWEquivLat)
+	}
+	// The enterprise needs more bandwidth to match 10 ns than big data
+	// (39.7 vs 27.1 in the paper).
+	bd := byClass["Big Data"]
+	if !(ent.LatEquivBW > bd.LatEquivBW) {
+		t.Fatalf("equiv ordering: enterprise %v should exceed big data %v", ent.LatEquivBW, bd.LatEquivBW)
+	}
+}
+
+func TestRunSweepErrorsOnNoClasses(t *testing.T) {
+	if _, err := BandwidthSweep(testPlatform(), nil, PaperBandwidthVariants()); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestSweepPointOpsPopulated(t *testing.T) {
+	sweep, err := LatencySweep(testPlatform(), allClasses(), 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range sweep.Points {
+		for _, c := range allClasses() {
+			op, ok := pt.Ops[c.Name]
+			if !ok || op.CPI <= 0 {
+				t.Fatalf("missing op for %s at %v", c.Name, pt.DeltaPerCore)
+			}
+			if op.MissPenalty < 75*units.Nanosecond {
+				t.Fatalf("loaded latency below compulsory: %v", op.MissPenalty)
+			}
+		}
+	}
+}

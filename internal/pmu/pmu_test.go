@@ -1,0 +1,117 @@
+package pmu
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestSamplerDeltas(t *testing.T) {
+	s := NewSampler(100 * units.Nanosecond)
+	s.Record(0, Snapshot{})
+	s.Record(100, Snapshot{
+		Instructions: 1000,
+		Cycles:       1200,
+		BusyNS:       80,
+		WallNS:       100,
+		MemBytes:     6400,
+		IOBytes:      640,
+	})
+	series := s.Series()
+	if len(series.Samples) != 1 {
+		t.Fatalf("samples = %d, want 1", len(series.Samples))
+	}
+	sm := series.Samples[0]
+	if math.Abs(sm.CPI-1.2) > 1e-12 {
+		t.Fatalf("CPI = %v, want 1.2", sm.CPI)
+	}
+	if math.Abs(sm.Utilization-0.8) > 1e-12 {
+		t.Fatalf("util = %v, want 0.8", sm.Utilization)
+	}
+	// 6400 bytes in 100ns = 64 GB/s.
+	if math.Abs(sm.Bandwidth.GBps()-64) > 1e-9 {
+		t.Fatalf("bandwidth = %v, want 64 GB/s", sm.Bandwidth.GBps())
+	}
+	if math.Abs(sm.IOBandwidth.GBps()-6.4) > 1e-9 {
+		t.Fatalf("io bandwidth = %v", sm.IOBandwidth.GBps())
+	}
+}
+
+func TestSamplerSecondIntervalUsesDeltas(t *testing.T) {
+	s := NewSampler(100 * units.Nanosecond)
+	s.Record(0, Snapshot{})
+	s.Record(100, Snapshot{Instructions: 1000, Cycles: 1000, BusyNS: 100, WallNS: 100})
+	s.Record(200, Snapshot{Instructions: 1500, Cycles: 2000, BusyNS: 150, WallNS: 200})
+	series := s.Series()
+	if len(series.Samples) != 2 {
+		t.Fatalf("samples = %d", len(series.Samples))
+	}
+	// Second interval: 500 instr, 1000 cycles → CPI 2.
+	if got := series.Samples[1].CPI; math.Abs(got-2) > 1e-12 {
+		t.Fatalf("second-interval CPI = %v, want 2", got)
+	}
+}
+
+func TestSamplerDisabled(t *testing.T) {
+	s := NewSampler(0)
+	if s.Enabled() {
+		t.Fatal("zero interval must disable")
+	}
+	s.Record(0, Snapshot{})
+	s.Record(100, Snapshot{Instructions: 1})
+	if len(s.Series().Samples) != 0 {
+		t.Fatal("disabled sampler must record nothing")
+	}
+	var nilSampler *Sampler
+	if nilSampler.Enabled() {
+		t.Fatal("nil sampler must read as disabled")
+	}
+}
+
+func TestSamplerIgnoresNonAdvancingTime(t *testing.T) {
+	s := NewSampler(100 * units.Nanosecond)
+	s.Record(100, Snapshot{})
+	s.Record(100, Snapshot{Instructions: 5})
+	if len(s.Series().Samples) != 0 {
+		t.Fatal("zero-width interval must be dropped")
+	}
+}
+
+func TestSamplerZeroInstructionInterval(t *testing.T) {
+	s := NewSampler(100 * units.Nanosecond)
+	s.Record(0, Snapshot{})
+	s.Record(100, Snapshot{WallNS: 100})
+	if got := s.Series().Samples[0].CPI; got != 0 {
+		t.Fatalf("CPI with no instructions = %v, want 0", got)
+	}
+}
+
+func TestSeriesCopyIsolation(t *testing.T) {
+	s := NewSampler(100 * units.Nanosecond)
+	s.Record(0, Snapshot{})
+	s.Record(100, Snapshot{Instructions: 1, Cycles: 1, WallNS: 100, BusyNS: 100})
+	a := s.Series()
+	a.Samples[0].CPI = 999
+	if s.Series().Samples[0].CPI == 999 {
+		t.Fatal("Series must return a copy")
+	}
+}
+
+func TestCounterSet(t *testing.T) {
+	cs := CounterSet{}
+	cs.Add("b.count", 2)
+	cs.Add("a.count", 1)
+	names := cs.Names()
+	if len(names) != 2 || names[0] != "a.count" || names[1] != "b.count" {
+		t.Fatalf("names = %v, want sorted", names)
+	}
+	text := cs.Format()
+	if !strings.Contains(text, "a.count") || !strings.Contains(text, "2") {
+		t.Fatalf("format = %q", text)
+	}
+	if strings.Index(text, "a.count") > strings.Index(text, "b.count") {
+		t.Fatal("format must be sorted")
+	}
+}

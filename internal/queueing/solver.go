@@ -1,0 +1,174 @@
+package queueing
+
+import (
+	"math"
+
+	"repro/internal/units"
+)
+
+// System describes the memory supply side for the fixed-point solve:
+// an unloaded (compulsory) latency, a deliverable peak bandwidth, and a
+// queuing curve relating utilization to added delay.
+type System struct {
+	Compulsory units.Duration       // unloaded memory latency
+	PeakBW     units.BytesPerSecond // maximum deliverable bandwidth (post-efficiency)
+	Curve      Curve                // queuing delay vs utilization
+}
+
+// LoadedLatency returns compulsory latency plus queuing delay at the given
+// demand bandwidth.
+func (s System) LoadedLatency(demand units.BytesPerSecond) units.Duration {
+	return s.Compulsory + s.Curve.Delay(s.Utilization(demand))
+}
+
+// Utilization returns demand/peak clamped to [0, 1].
+func (s System) Utilization(demand units.BytesPerSecond) float64 {
+	if s.PeakBW <= 0 {
+		return 1
+	}
+	u := float64(demand) / float64(s.PeakBW)
+	if u < 0 {
+		return 0
+	}
+	if u > 1 {
+		return 1
+	}
+	return u
+}
+
+// DemandFunc maps a miss penalty (loaded latency) to the bandwidth the
+// workload would demand at that penalty. In the paper's model this is
+// Eq. 4 evaluated at CPI_eff(MP) from Eq. 1: higher penalty → higher CPI →
+// lower demand, which is what makes the fixed point well behaved.
+type DemandFunc func(mp units.Duration) units.BytesPerSecond
+
+// Solution is the stable operating point found by Solve.
+type Solution struct {
+	MissPenalty units.Duration       // loaded latency: compulsory + queuing
+	Queue       units.Duration       // queuing component alone
+	Demand      units.BytesPerSecond // bandwidth demand at that penalty
+	Utilization float64              // demand / peak
+	Saturated   bool                 // demand reached the curve's stability limit
+	Iterations  int
+}
+
+// SolveOptions tunes the fixed-point iteration.
+type SolveOptions struct {
+	// Damping in (0,1]: fraction of the new estimate blended in per step.
+	// 1 is undamped. The paper notes "an iterative calculation to find a
+	// stable solution"; damping guarantees convergence on stiff curves.
+	Damping float64
+	// TolNS is the convergence tolerance on miss penalty in nanoseconds.
+	TolNS float64
+	// MaxIter bounds the iteration count.
+	MaxIter int
+}
+
+func (o SolveOptions) withDefaults() SolveOptions {
+	if o.Damping <= 0 || o.Damping > 1 {
+		o.Damping = 0.5
+	}
+	if o.TolNS <= 0 {
+		o.TolNS = 1e-4
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = 10_000
+	}
+	return o
+}
+
+// Solve finds the self-consistent loaded latency: the MP such that the
+// queuing delay implied by the workload's bandwidth demand at MP equals
+// MP − compulsory.
+//
+// It bisects F(mp) = LoadedLatency(demand(mp)) − mp on
+// [compulsory, compulsory + MaxStableDelay]: F is non-negative at the
+// left end (queuing delay cannot be negative), non-positive at the right
+// end (delay is capped at the stable maximum), and decreasing for any
+// demand function that falls as the miss penalty rises — which Eq. 1 +
+// Eq. 4 guarantee. Bisection converges where damped iteration oscillates
+// on the steep part of the queuing curve near saturation (see
+// SolveDamped, kept for the solver ablation).
+func Solve(sys System, demand DemandFunc, opts SolveOptions) (Solution, error) {
+	o := opts.withDefaults()
+	lo := sys.Compulsory
+	hi := sys.Compulsory + sys.Curve.MaxStableDelay()
+
+	residual := func(mp units.Duration) (float64, Solution) {
+		d := demand(mp)
+		next := sys.LoadedLatency(d)
+		return float64(next) - float64(mp), Solution{
+			MissPenalty: mp,
+			Queue:       mp - sys.Compulsory,
+			Demand:      d,
+			Utilization: sys.Utilization(d),
+		}
+	}
+
+	// Degenerate curve (no queuing at all): the answer is the left end.
+	if hi <= lo {
+		_, sol := residual(lo)
+		sol.Iterations = 1
+		sol.Saturated = saturated(sys, sol.Utilization)
+		return sol, nil
+	}
+
+	var sol Solution
+	for i := 0; i < o.MaxIter; i++ {
+		mid := units.Duration((float64(lo) + float64(hi)) / 2)
+		f, s := residual(mid)
+		sol = s
+		sol.Iterations = i + 1
+		if math.Abs(f) < o.TolNS || float64(hi)-float64(lo) < o.TolNS {
+			sol.Saturated = saturated(sys, sol.Utilization)
+			return sol, nil
+		}
+		if f > 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return sol, ErrNoSolution
+}
+
+// SolveDamped is the direct damped fixed-point iteration (the "iterative
+// calculation" the paper describes). It converges on shallow parts of the
+// curve but can oscillate near saturation; Solve's bisection is the
+// production path, and this variant exists for the solver ablation
+// (DESIGN.md §5).
+func SolveDamped(sys System, demand DemandFunc, opts SolveOptions) (Solution, error) {
+	o := opts.withDefaults()
+	mp := sys.Compulsory
+	var sol Solution
+	for i := 0; i < o.MaxIter; i++ {
+		d := demand(mp)
+		next := sys.LoadedLatency(d)
+		sol = Solution{
+			MissPenalty: mp,
+			Queue:       mp - sys.Compulsory,
+			Demand:      d,
+			Utilization: sys.Utilization(d),
+			Iterations:  i + 1,
+		}
+		if math.Abs(float64(next)-float64(mp)) < o.TolNS {
+			sol.MissPenalty = next
+			sol.Queue = next - sys.Compulsory
+			sol.Saturated = saturated(sys, sol.Utilization)
+			return sol, nil
+		}
+		mp = units.Duration(float64(mp) + o.Damping*(float64(next)-float64(mp)))
+	}
+	return sol, ErrNoSolution
+}
+
+// saturated reports whether utilization is at/above the curve's stable
+// limit, i.e. the workload should be treated as bandwidth bound.
+func saturated(sys System, u float64) bool {
+	type limiter interface{ ULimit() float64 }
+	lim := 0.95
+	if l, ok := sys.Curve.(limiter); ok {
+		lim = l.ULimit()
+	}
+	return u >= lim-1e-9
+}

@@ -1,0 +1,143 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Chart is an ASCII scatter/line plot: good enough to see the shapes the
+// paper's figures show (crossovers, saturation knees, clusters) directly
+// in a terminal or a text artifact.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int // plot columns (default 72)
+	Height int // plot rows (default 20)
+
+	series []series
+}
+
+type series struct {
+	name   string
+	marker byte
+	xs, ys []float64
+}
+
+// Markers assigned to series in order.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// NewChart creates a chart.
+func NewChart(title, xlabel, ylabel string) *Chart {
+	return &Chart{Title: title, XLabel: xlabel, YLabel: ylabel, Width: 72, Height: 20}
+}
+
+// AddSeries appends a named series; xs and ys must have equal length.
+func (c *Chart) AddSeries(name string, xs, ys []float64) error {
+	if len(xs) != len(ys) {
+		return fmt.Errorf("report: series %q: %d xs vs %d ys", name, len(xs), len(ys))
+	}
+	m := markers[len(c.series)%len(markers)]
+	c.series = append(c.series, series{
+		name:   name,
+		marker: m,
+		xs:     append([]float64(nil), xs...),
+		ys:     append([]float64(nil), ys...),
+	})
+	return nil
+}
+
+// bounds returns the data extents, padded slightly.
+func (c *Chart) bounds() (xmin, xmax, ymin, ymax float64, ok bool) {
+	xmin, ymin = math.Inf(1), math.Inf(1)
+	xmax, ymax = math.Inf(-1), math.Inf(-1)
+	for _, s := range c.series {
+		for i := range s.xs {
+			if math.IsNaN(s.xs[i]) || math.IsNaN(s.ys[i]) || math.IsInf(s.xs[i], 0) || math.IsInf(s.ys[i], 0) {
+				continue
+			}
+			xmin = math.Min(xmin, s.xs[i])
+			xmax = math.Max(xmax, s.xs[i])
+			ymin = math.Min(ymin, s.ys[i])
+			ymax = math.Max(ymax, s.ys[i])
+		}
+	}
+	if math.IsInf(xmin, 1) {
+		return 0, 0, 0, 0, false
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	return xmin, xmax, ymin, ymax, true
+}
+
+// ASCII renders the chart.
+func (c *Chart) ASCII() string {
+	w, h := c.Width, c.Height
+	if w <= 0 {
+		w = 72
+	}
+	if h <= 0 {
+		h = 20
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	xmin, xmax, ymin, ymax, ok := c.bounds()
+	if !ok {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", w))
+	}
+	for _, s := range c.series {
+		for i := range s.xs {
+			if math.IsNaN(s.xs[i]) || math.IsNaN(s.ys[i]) || math.IsInf(s.xs[i], 0) || math.IsInf(s.ys[i], 0) {
+				continue
+			}
+			col := int((s.xs[i] - xmin) / (xmax - xmin) * float64(w-1))
+			row := h - 1 - int((s.ys[i]-ymin)/(ymax-ymin)*float64(h-1))
+			if col >= 0 && col < w && row >= 0 && row < h {
+				grid[row][col] = s.marker
+			}
+		}
+	}
+
+	yTop := fmt.Sprintf("%.4g", ymax)
+	yBot := fmt.Sprintf("%.4g", ymin)
+	margin := len(yTop)
+	if len(yBot) > margin {
+		margin = len(yBot)
+	}
+	for r := 0; r < h; r++ {
+		label := strings.Repeat(" ", margin)
+		if r == 0 {
+			label = fmt.Sprintf("%*s", margin, yTop)
+		}
+		if r == h-1 {
+			label = fmt.Sprintf("%*s", margin, yBot)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", margin), strings.Repeat("-", w))
+	fmt.Fprintf(&b, "%s  %-*s%s\n", strings.Repeat(" ", margin), w-len(fmt.Sprintf("%.4g", xmax)), fmt.Sprintf("%.4g", xmin), fmt.Sprintf("%.4g", xmax))
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(&b, "x: %s   y: %s\n", c.XLabel, c.YLabel)
+	}
+	// Legend, sorted by name for stable output.
+	leg := append([]series(nil), c.series...)
+	sort.Slice(leg, func(i, j int) bool { return leg[i].name < leg[j].name })
+	for _, s := range leg {
+		fmt.Fprintf(&b, "  %c %s\n", s.marker, s.name)
+	}
+	return b.String()
+}

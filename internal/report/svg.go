@@ -1,0 +1,137 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// SVG renders the chart as a standalone SVG document — the publishable
+// counterpart of the terminal ASCII render. Pure string assembly; no
+// dependencies beyond the standard library.
+func (c *Chart) SVG() string {
+	const (
+		width   = 720
+		height  = 420
+		marginL = 64
+		marginR = 160 // legend gutter
+		marginT = 40
+		marginB = 52
+	)
+	plotW := float64(width - marginL - marginR)
+	plotH := float64(height - marginT - marginB)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	if c.Title != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="24" font-family="sans-serif" font-size="15" font-weight="bold">%s</text>`+"\n",
+			marginL, escapeXML(c.Title))
+	}
+
+	xmin, xmax, ymin, ymax, ok := c.bounds()
+	if !ok {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="13">(no data)</text>`+"\n",
+			marginL, marginT+20)
+		b.WriteString("</svg>\n")
+		return b.String()
+	}
+
+	toX := func(x float64) float64 { return float64(marginL) + (x-xmin)/(xmax-xmin)*plotW }
+	toY := func(y float64) float64 { return float64(marginT) + plotH - (y-ymin)/(ymax-ymin)*plotH }
+
+	// Axes and gridlines.
+	axisColor := "#888888"
+	fmt.Fprintf(&b, `<line x1="%d" y1="%g" x2="%g" y2="%g" stroke="%s"/>`+"\n",
+		marginL, float64(marginT)+plotH, float64(marginL)+plotW, float64(marginT)+plotH, axisColor)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%g" stroke="%s"/>`+"\n",
+		marginL, marginT, marginL, float64(marginT)+plotH, axisColor)
+	for i := 0; i <= 4; i++ {
+		frac := float64(i) / 4
+		gx := float64(marginL) + frac*plotW
+		gy := float64(marginT) + plotH - frac*plotH
+		fmt.Fprintf(&b, `<line x1="%g" y1="%d" x2="%g" y2="%g" stroke="#eeeeee"/>`+"\n",
+			gx, marginT, gx, float64(marginT)+plotH)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%g" x2="%g" y2="%g" stroke="#eeeeee"/>`+"\n",
+			marginL, gy, float64(marginL)+plotW, gy)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="10" text-anchor="middle">%s</text>`+"\n",
+			gx, float64(marginT)+plotH+16, fmtTick(xmin+frac*(xmax-xmin)))
+		fmt.Fprintf(&b, `<text x="%d" y="%g" font-family="sans-serif" font-size="10" text-anchor="end">%s</text>`+"\n",
+			marginL-6, gy+3, fmtTick(ymin+frac*(ymax-ymin)))
+	}
+	if c.XLabel != "" {
+		fmt.Fprintf(&b, `<text x="%g" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle">%s</text>`+"\n",
+			float64(marginL)+plotW/2, height-12, escapeXML(c.XLabel))
+	}
+	if c.YLabel != "" {
+		fmt.Fprintf(&b, `<text x="16" y="%g" font-family="sans-serif" font-size="12" text-anchor="middle" transform="rotate(-90 16 %g)">%s</text>`+"\n",
+			float64(marginT)+plotH/2, float64(marginT)+plotH/2, escapeXML(c.YLabel))
+	}
+
+	palette := []string{"#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd", "#8c564b", "#17becf", "#7f7f7f"}
+	// Stable legend/series order by name.
+	order := make([]int, len(c.series))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, bIdx int) bool { return c.series[order[a]].name < c.series[order[bIdx]].name })
+
+	for rank, idx := range order {
+		s := c.series[idx]
+		color := palette[rank%len(palette)]
+		// Polyline through finite points in x order.
+		type pt struct{ x, y float64 }
+		var pts []pt
+		for i := range s.xs {
+			if math.IsNaN(s.xs[i]) || math.IsNaN(s.ys[i]) || math.IsInf(s.xs[i], 0) || math.IsInf(s.ys[i], 0) {
+				continue
+			}
+			pts = append(pts, pt{s.xs[i], s.ys[i]})
+		}
+		sort.SliceStable(pts, func(a, b int) bool { return pts[a].x < pts[b].x })
+		if len(pts) > 1 {
+			var path strings.Builder
+			for i, p := range pts {
+				cmd := "L"
+				if i == 0 {
+					cmd = "M"
+				}
+				fmt.Fprintf(&path, "%s%.2f %.2f ", cmd, toX(p.x), toY(p.y))
+			}
+			fmt.Fprintf(&b, `<path d="%s" fill="none" stroke="%s" stroke-width="1.5"/>`+"\n",
+				strings.TrimSpace(path.String()), color)
+		}
+		for _, p := range pts {
+			fmt.Fprintf(&b, `<circle cx="%.2f" cy="%.2f" r="3" fill="%s"/>`+"\n", toX(p.x), toY(p.y), color)
+		}
+		// Legend entry.
+		ly := marginT + 8 + rank*18
+		lx := width - marginR + 12
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/>`+"\n", lx, ly, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+			lx+16, ly+9, escapeXML(s.name))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func fmtTick(v float64) string {
+	a := math.Abs(v)
+	switch {
+	case v == 0:
+		return "0"
+	case a >= 1000 || a < 0.01:
+		return fmt.Sprintf("%.2g", v)
+	case a >= 10:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+func escapeXML(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

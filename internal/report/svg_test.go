@@ -1,0 +1,93 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSVGRendersWellFormed(t *testing.T) {
+	c := NewChart("CPI vs latency", "latency (ns)", "CPI")
+	if err := c.AddSeries("Enterprise", []float64{75, 85, 95}, []float64{2.0, 2.07, 2.14}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddSeries("HPC", []float64{75, 85, 95}, []float64{2.08, 2.08, 2.08}); err != nil {
+		t.Fatal(err)
+	}
+	out := c.SVG()
+	for _, want := range []string{
+		"<svg", "</svg>", "CPI vs latency", "latency (ns)",
+		"Enterprise", "HPC", "<path", "<circle",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+	// Balanced document: one open, one close.
+	if strings.Count(out, "<svg") != 1 || strings.Count(out, "</svg>") != 1 {
+		t.Fatal("unbalanced svg element")
+	}
+}
+
+func TestSVGEmptyChart(t *testing.T) {
+	c := NewChart("empty", "", "")
+	out := c.SVG()
+	if !strings.Contains(out, "(no data)") {
+		t.Fatal("empty chart must say so")
+	}
+	if !strings.Contains(out, "</svg>") {
+		t.Fatal("document must still close")
+	}
+}
+
+func TestSVGEscapesMarkup(t *testing.T) {
+	c := NewChart(`a<b & "c"`, "x<y", "y&z")
+	_ = c.AddSeries("s<1>", []float64{0, 1}, []float64{0, 1})
+	out := c.SVG()
+	if strings.Contains(out, "a<b") || strings.Contains(out, "s<1>") {
+		t.Fatal("markup not escaped")
+	}
+	if !strings.Contains(out, "a&lt;b &amp; &quot;c&quot;") {
+		t.Fatalf("escape output wrong: %q", out[:200])
+	}
+}
+
+func TestSVGSkipsNonFinite(t *testing.T) {
+	c := NewChart("t", "", "")
+	_ = c.AddSeries("s", []float64{0, 1, 2}, []float64{1, math.NaN(), 3})
+	out := c.SVG()
+	if strings.Contains(out, "NaN") {
+		t.Fatal("NaN leaked into SVG coordinates")
+	}
+	// Two finite points remain → a path and two circles.
+	if strings.Count(out, "<circle") != 2 {
+		t.Fatalf("circles = %d, want 2", strings.Count(out, "<circle"))
+	}
+}
+
+func TestSVGSinglePointSeries(t *testing.T) {
+	c := NewChart("t", "", "")
+	_ = c.AddSeries("dot", []float64{1}, []float64{1})
+	out := c.SVG()
+	if strings.Contains(out, "<path") {
+		t.Fatal("single point must not draw a line")
+	}
+	if strings.Count(out, "<circle") != 1 {
+		t.Fatal("single point must draw one marker")
+	}
+}
+
+func TestFmtTick(t *testing.T) {
+	cases := map[float64]string{
+		0:      "0",
+		0.5:    "0.50",
+		12:     "12",
+		12345:  "1.2e+04",
+		0.0001: "0.0001",
+	}
+	for in, want := range cases {
+		if got := fmtTick(in); got != want {
+			t.Errorf("fmtTick(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+// Package report renders experiment results as plain-text tables, CSV,
+// Markdown, and ASCII charts — the output layer behind cmd/repro's
+// regeneration of every table and figure in the paper.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple rectangular table with a title and column headers.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+	Notes   []string
+}
+
+// NewTable creates a table.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; values are formatted with %v unless already
+// strings.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = formatFloat(v)
+		case float32:
+			row[i] = formatFloat(float64(v))
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddNote appends a footnote rendered under the table.
+func (t *Table) AddNote(format string, args ...interface{}) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// NumRows reports the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Rows returns a copy of the table body.
+func (t *Table) Rows() [][]string {
+	out := make([][]string, len(t.rows))
+	for i, r := range t.rows {
+		out[i] = append([]string(nil), r...)
+	}
+	return out
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 1000 || v <= -1000:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 100 || v <= -100:
+		return fmt.Sprintf("%.1f", v)
+	case v >= 1 || v <= -1:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// ASCII renders the table with aligned columns.
+func (t *Table) ASCII() string {
+	ncol := len(t.Headers)
+	for _, r := range t.rows {
+		if len(r) > ncol {
+			ncol = len(r)
+		}
+	}
+	widths := make([]int, ncol)
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i := 0; i < ncol; i++ {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total-2) + "\n")
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Markdown renders the table as GitHub-flavoured Markdown.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "### %s\n\n", t.Title)
+	}
+	b.WriteString("| " + strings.Join(t.Headers, " | ") + " |\n")
+	seps := make([]string, len(t.Headers))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	b.WriteString("| " + strings.Join(seps, " | ") + " |\n")
+	for _, r := range t.rows {
+		b.WriteString("| " + strings.Join(r, " | ") + " |\n")
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "\n*%s*\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (quoting cells that
+// contain commas or quotes).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			b.WriteString(c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Headers)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}

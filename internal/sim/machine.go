@@ -1,0 +1,325 @@
+// Package sim assembles the simulated machine the paper's measurements
+// are taken on: N hardware threads (cpu.Core), each with a private cache
+// hierarchy, sharing one DDR memory subsystem, with a PMU sampler
+// recording characterization time series.
+//
+// The event loop always advances the least-advanced thread by one trace
+// block, which bounds cross-thread time skew to one block and lets memory
+// contention between threads emerge in the shared memsys.Simulator.
+// Runs have a warm-up phase (caches fill, streams train) after which all
+// counters reset and the measured phase begins — mirroring the paper's
+// "data was collected during steady-state behavior after varying amounts
+// of warm-up time" (§V.I).
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/cache"
+	"repro/internal/cpu"
+	"repro/internal/memsys"
+	"repro/internal/pmu"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+// GeneratorFactory produces the per-thread trace stream. A workload
+// implements it; seeds differ per thread so threads are decorrelated but
+// runs stay deterministic.
+type GeneratorFactory interface {
+	NewGenerator(thread int, seed uint64) trace.Generator
+}
+
+// Config describes a machine.
+type Config struct {
+	// Threads is the number of hardware threads (logical processors).
+	Threads int
+	Core    cpu.Config
+	Cache   cache.Config
+	Mem     memsys.Config
+	// SampleInterval enables PMU time-series sampling when positive.
+	SampleInterval units.Duration
+	// Seed decorrelates workload generators between runs; thread i uses
+	// Seed + i·0x9E37. Zero picks a fixed default.
+	Seed uint64
+}
+
+// DefaultConfig returns the paper's big-data measurement platform scaled
+// to one socket: 16 hardware threads (8 cores with Hyper-Threading),
+// 2.5 MiB LLC slice per thread, four channels of DDR3-1867.
+func DefaultConfig() Config {
+	return Config{
+		Threads: 16,
+		Core:    cpu.DefaultConfig(),
+		Cache:   cache.DefaultConfig(),
+		Mem:     memsys.DefaultConfig(),
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Threads <= 0 {
+		return errors.New("sim: Threads must be positive")
+	}
+	if err := c.Core.Validate(); err != nil {
+		return err
+	}
+	if err := c.Cache.Validate(); err != nil {
+		return err
+	}
+	return c.Mem.Validate()
+}
+
+// Measurement is the outcome of one measured run: exactly the quantities
+// the paper reads from hardware counters, plus the sampled time series.
+type Measurement struct {
+	Workload string
+	Threads  int
+	Freq     units.Hertz
+	MemGrade memsys.Grade
+	Channels int
+
+	Instructions uint64
+	CPI          float64 // CPI_eff, aggregate cycles / aggregate instructions
+	Utilization  float64
+
+	MPI       float64        // memory reads (demand + prefetch) per instruction
+	MPKI      float64        // MPI × 1000
+	DemandMPI float64        // demand misses only
+	MP        units.Duration // measured average demand-load miss penalty (loaded)
+	MPCycles  units.Cycles   // same, in core cycles at Freq
+	WBR       float64        // memory writes / MPI reads
+
+	Bandwidth    units.BytesPerSecond // achieved DRAM bandwidth, all threads
+	Utilization1 float64              // DRAM bandwidth utilization vs nominal peak
+	IOPI         float64              // I/O events per instruction
+	IOBandwidth  units.BytesPerSecond
+
+	WallTime units.Duration // simulated duration of the measured phase
+	Series   pmu.Series
+
+	Cache cache.Counters  // aggregate over threads
+	Mem   memsys.Counters // measured-phase memory counters
+}
+
+// MPIxMP returns the x coordinate of the paper's Fig. 3 fits: average miss
+// penalty per instruction in core cycles.
+func (m Measurement) MPIxMP() float64 { return m.MPI * float64(m.MPCycles) }
+
+// Machine is a runnable simulated platform.
+type Machine struct {
+	cfg     Config
+	mem     *memsys.Simulator
+	cores   []*cpu.Core
+	gens    []trace.Generator
+	name    string
+	blocks  []trace.Block
+	ioAddr  uint64
+	ioLines uint64
+}
+
+// ioSink adapts the shared memory simulator to cpu.IOSink: DMA writes the
+// incoming data to successive memory lines, consuming channel bandwidth
+// the way the paper's SSD traffic does.
+type ioSink struct{ m *Machine }
+
+func (s ioSink) DMA(now units.Duration, bytes float64) {
+	lineSize := uint64(s.m.cfg.Mem.LineSize)
+	n := uint64(math.Ceil(bytes / float64(lineSize)))
+	for i := uint64(0); i < n; i++ {
+		addr := s.m.ioAddr + (s.m.ioLines%(1<<18))*lineSize
+		s.m.ioLines++
+		s.m.mem.Access(now, addr, memsys.Write)
+	}
+}
+
+// New builds a machine running the given workload on every thread.
+func New(cfg Config, name string, factory GeneratorFactory) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if factory == nil {
+		return nil, errors.New("sim: nil generator factory")
+	}
+	mem, err := memsys.NewSimulator(cfg.Mem)
+	if err != nil {
+		return nil, err
+	}
+	m := &Machine{cfg: cfg, mem: mem, name: name, ioAddr: 1 << 44}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 0xC0FFEE
+	}
+	for t := 0; t < cfg.Threads; t++ {
+		h, err := cache.New(cfg.Cache, mem)
+		if err != nil {
+			return nil, err
+		}
+		core, err := cpu.New(cfg.Core, h, ioSink{m})
+		if err != nil {
+			return nil, err
+		}
+		m.cores = append(m.cores, core)
+		m.gens = append(m.gens, factory.NewGenerator(t, seed+uint64(t)*0x9E37))
+	}
+	m.blocks = make([]trace.Block, cfg.Threads)
+	return m, nil
+}
+
+// Config returns the machine's configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// step advances the least-advanced thread by one block and returns its
+// index.
+func (m *Machine) step() int {
+	min := 0
+	for t := 1; t < len(m.cores); t++ {
+		if m.cores[t].Now() < m.cores[min].Now() {
+			min = t
+		}
+	}
+	b := &m.blocks[min]
+	b.Reset()
+	m.gens[min].NextBlock(b)
+	if b.Instructions == 0 {
+		panic(fmt.Sprintf("sim: workload %q produced an empty block", m.name))
+	}
+	m.cores[min].RunBlock(b)
+	return min
+}
+
+func (m *Machine) totalInstructions() uint64 {
+	var n uint64
+	for _, c := range m.cores {
+		n += c.Counters().Instructions
+	}
+	return n
+}
+
+func (m *Machine) minNow() units.Duration {
+	min := m.cores[0].Now()
+	for _, c := range m.cores[1:] {
+		if c.Now() < min {
+			min = c.Now()
+		}
+	}
+	return min
+}
+
+func (m *Machine) snapshot(start units.Duration) pmu.Snapshot {
+	var s pmu.Snapshot
+	freq := m.cfg.Core.Freq
+	for _, c := range m.cores {
+		ctr := c.Counters()
+		s.Instructions += ctr.Instructions
+		s.Cycles += ctr.Cycles(freq)
+		s.BusyNS += ctr.BusyNS
+		s.IOBytes += ctr.IOBytes
+	}
+	s.WallNS = float64(m.minNow()-start) * float64(m.cfg.Threads)
+	mc := m.mem.Counters()
+	s.MemBytes = float64(mc.BytesRead + mc.BytesWritten)
+	return s
+}
+
+// Run executes warmupInstr then measureInstr aggregate instructions and
+// returns the measured-phase Measurement.
+func (m *Machine) Run(warmupInstr, measureInstr uint64) (Measurement, error) {
+	if measureInstr == 0 {
+		return Measurement{}, errors.New("sim: measureInstr must be positive")
+	}
+	for m.totalInstructions() < warmupInstr {
+		m.step()
+	}
+	// Reset counters for the measured phase; cache/stream state persists.
+	for _, c := range m.cores {
+		c.ResetCounters()
+	}
+	m.mem.ResetCounters()
+
+	start := m.minNow()
+	sampler := pmu.NewSampler(m.cfg.SampleInterval)
+	sampler.Record(start, m.snapshot(start))
+	next := start + m.cfg.SampleInterval
+
+	for m.totalInstructions() < measureInstr {
+		m.step()
+		if sampler.Enabled() {
+			for now := m.minNow(); now >= next; next += m.cfg.SampleInterval {
+				sampler.Record(next, m.snapshot(start))
+			}
+		}
+	}
+	return m.measure(start, sampler), nil
+}
+
+func (m *Machine) measure(start units.Duration, sampler *pmu.Sampler) Measurement {
+	freq := m.cfg.Core.Freq
+	var agg cache.Counters
+	agg.Levels = make([]cache.LevelCounters, len(m.cfg.Cache.Levels))
+	var instr, ioEvents uint64
+	var cycles, busy, idle, ioBytes float64
+	for _, c := range m.cores {
+		ctr := c.Counters()
+		instr += ctr.Instructions
+		cycles += ctr.Cycles(freq)
+		busy += ctr.BusyNS
+		idle += ctr.IdleNS
+		ioBytes += ctr.IOBytes
+		ioEvents += ctr.IOEvents
+		cc := c.Caches().Counters()
+		for i := range agg.Levels {
+			agg.Levels[i].Accesses += cc.Levels[i].Accesses
+			agg.Levels[i].Hits += cc.Levels[i].Hits
+			agg.Levels[i].DemandMisses += cc.Levels[i].DemandMisses
+			agg.Levels[i].Writebacks += cc.Levels[i].Writebacks
+		}
+		agg.MemDemandReads += cc.MemDemandReads
+		agg.MemPrefReads += cc.MemPrefReads
+		agg.MemWritebacks += cc.MemWritebacks
+		agg.MemNTWrites += cc.MemNTWrites
+		agg.PrefIssued += cc.PrefIssued
+		agg.PrefHits += cc.PrefHits
+		agg.PrefLate += cc.PrefLate
+		agg.DemandLoadMisses += cc.DemandLoadMisses
+		agg.DemandMissLatency += cc.DemandMissLatency
+	}
+
+	wall := m.minNow() - start
+	mc := m.mem.Counters()
+	meas := Measurement{
+		Workload:     m.name,
+		Threads:      m.cfg.Threads,
+		Freq:         freq,
+		MemGrade:     m.cfg.Mem.Grade,
+		Channels:     m.cfg.Mem.Channels,
+		Instructions: instr,
+		WallTime:     wall,
+		Series:       sampler.Series(),
+		Cache:        agg,
+		Mem:          mc,
+	}
+	if instr > 0 {
+		meas.CPI = cycles / float64(instr)
+		meas.MPI = agg.MPI(instr)
+		meas.MPKI = meas.MPI * 1000
+		meas.DemandMPI = float64(agg.MemDemandReads) / float64(instr)
+		meas.IOPI = float64(ioEvents) / float64(instr)
+	}
+	if busy+idle > 0 {
+		meas.Utilization = busy / (busy + idle)
+	}
+	meas.MP = agg.AvgMissPenalty()
+	meas.MPCycles = meas.MP.Cycles(freq)
+	meas.WBR = agg.WBR()
+	if sec := wall.Seconds(); sec > 0 {
+		meas.Bandwidth = units.BytesPerSecond(float64(mc.BytesRead+mc.BytesWritten) / sec)
+		meas.IOBandwidth = units.BytesPerSecond(ioBytes / sec)
+	}
+	if peak := m.cfg.Mem.NominalPeak(); peak > 0 {
+		meas.Utilization1 = float64(meas.Bandwidth) / float64(peak)
+	}
+	return meas
+}

@@ -1,0 +1,262 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+// scanFactory emits a simple sequential-scan workload: 2 lines per
+// 500-instruction block at BaseCPI 1, footprint 8 MiB per thread.
+type scanFactory struct {
+	baseCPI float64
+	idleNS  float64
+	io      float64
+}
+
+type scanGen struct {
+	stream uint64
+	base   uint64
+	cfg    scanFactory
+}
+
+func (f scanFactory) NewGenerator(thread int, seed uint64) trace.Generator {
+	return &scanGen{base: uint64(thread+1) << 36, cfg: f}
+}
+
+func (g *scanGen) NextBlock(b *trace.Block) {
+	b.Instructions = 500
+	b.BaseCPI = g.cfg.baseCPI
+	b.Chains = 4
+	for i := 0; i < 2; i++ {
+		b.AddRef(g.base+(g.stream%(8<<20/64))*64, false)
+		g.stream++
+	}
+	b.IdleNS = g.cfg.idleNS
+	b.IOBytes = g.cfg.io
+}
+
+func quickConfig(threads int) Config {
+	cfg := DefaultConfig()
+	cfg.Threads = threads
+	return cfg
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Threads = 0
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("want error for zero threads")
+	}
+	cfg = DefaultConfig()
+	cfg.Mem.Channels = 0
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("want error for bad memory config")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(quickConfig(0), "x", scanFactory{baseCPI: 1}); err == nil {
+		t.Fatal("want config error")
+	}
+	if _, err := New(quickConfig(2), "x", nil); err == nil {
+		t.Fatal("want factory error")
+	}
+}
+
+func TestRunProducesSaneMeasurement(t *testing.T) {
+	m, err := New(quickConfig(4), "scan", scanFactory{baseCPI: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	meas, err := m.Run(100_000, 400_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meas.Instructions < 400_000 {
+		t.Fatalf("instructions = %d", meas.Instructions)
+	}
+	if meas.CPI <= 0.9 {
+		t.Fatalf("CPI = %v, must be ≥ BaseCPI", meas.CPI)
+	}
+	// 2 lines per 500 instructions = 4 MPKI of fills (demand+prefetch).
+	if meas.MPKI < 3 || meas.MPKI > 5 {
+		t.Fatalf("MPKI = %v, want ≈4", meas.MPKI)
+	}
+	if meas.MP < 70*units.Nanosecond {
+		t.Fatalf("MP = %v, below compulsory", meas.MP)
+	}
+	if meas.Bandwidth <= 0 {
+		t.Fatal("bandwidth must be positive")
+	}
+	if meas.Utilization < 0.99 {
+		t.Fatalf("utilization = %v, want ≈1 (no idle)", meas.Utilization)
+	}
+	if meas.Workload != "scan" || meas.Threads != 4 {
+		t.Fatalf("labels: %+v", meas)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	run := func() Measurement {
+		m, err := New(quickConfig(4), "scan", scanFactory{baseCPI: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		meas, err := m.Run(50_000, 200_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return meas
+	}
+	a, b := run(), run()
+	if a.CPI != b.CPI || a.MPKI != b.MPKI || a.Bandwidth != b.Bandwidth {
+		t.Fatalf("non-deterministic: %v/%v vs %v/%v", a.CPI, a.MPKI, b.CPI, b.MPKI)
+	}
+}
+
+func TestSeedChangesNothingStructural(t *testing.T) {
+	mA, _ := New(quickConfig(2), "scan", scanFactory{baseCPI: 1})
+	cfgB := quickConfig(2)
+	cfgB.Seed = 999
+	mB, _ := New(cfgB, "scan", scanFactory{baseCPI: 1})
+	a, _ := mA.Run(50_000, 200_000)
+	b, _ := mB.Run(50_000, 200_000)
+	// Different seeds may change exact values but not the regime.
+	if math.Abs(a.CPI-b.CPI) > 0.2*a.CPI {
+		t.Fatalf("seed changed CPI drastically: %v vs %v", a.CPI, b.CPI)
+	}
+}
+
+func TestMoreThreadsMoreBandwidth(t *testing.T) {
+	run := func(threads int) units.BytesPerSecond {
+		m, err := New(quickConfig(threads), "scan", scanFactory{baseCPI: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		meas, err := m.Run(uint64(threads)*50_000, uint64(threads)*100_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return meas.Bandwidth
+	}
+	if bw2, bw8 := run(2), run(8); float64(bw8) < 2.5*float64(bw2) {
+		t.Fatalf("8 threads (%v) should have ≈4x the bandwidth of 2 (%v)", bw8, bw2)
+	}
+}
+
+func TestIdleDilutesUtilizationNotCPI(t *testing.T) {
+	// §V.J semantics end to end.
+	m, err := New(quickConfig(2), "idle", scanFactory{baseCPI: 1, idleNS: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	meas, err := m.Run(50_000, 200_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meas.Utilization > 0.75 {
+		t.Fatalf("utilization = %v, want diluted", meas.Utilization)
+	}
+	if meas.CPI < 1 {
+		t.Fatalf("CPI = %v, must not be diluted by idle", meas.CPI)
+	}
+}
+
+func TestIOAccounting(t *testing.T) {
+	m, err := New(quickConfig(2), "io", scanFactory{baseCPI: 1, io: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	meas, err := m.Run(50_000, 200_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meas.IOPI <= 0 {
+		t.Fatal("IOPI must count")
+	}
+	if meas.IOBandwidth <= 0 {
+		t.Fatal("I/O bandwidth must be measured")
+	}
+	// I/O DMA traffic lands on the memory channels: total bandwidth must
+	// exceed the cache-fill traffic alone.
+	noIO, _ := New(quickConfig(2), "noio", scanFactory{baseCPI: 1})
+	base, _ := noIO.Run(50_000, 200_000)
+	if meas.Bandwidth <= base.Bandwidth {
+		t.Fatalf("I/O must add channel traffic: %v vs %v", meas.Bandwidth, base.Bandwidth)
+	}
+}
+
+func TestSampling(t *testing.T) {
+	cfg := quickConfig(2)
+	cfg.SampleInterval = 5 * units.Microsecond
+	m, err := New(cfg, "scan", scanFactory{baseCPI: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	meas, err := m.Run(50_000, 400_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(meas.Series.Samples) < 3 {
+		t.Fatalf("samples = %d, want several", len(meas.Series.Samples))
+	}
+	for _, s := range meas.Series.Samples {
+		if s.CPI <= 0 {
+			t.Fatalf("sample CPI = %v", s.CPI)
+		}
+	}
+}
+
+func TestRunZeroMeasure(t *testing.T) {
+	m, _ := New(quickConfig(2), "scan", scanFactory{baseCPI: 1})
+	if _, err := m.Run(0, 0); err == nil {
+		t.Fatal("want error for zero measure instructions")
+	}
+}
+
+func TestWarmupResetsCounters(t *testing.T) {
+	m, _ := New(quickConfig(2), "scan", scanFactory{baseCPI: 1})
+	meas, err := m.Run(300_000, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The measured phase must report ≈100k instructions, not 400k.
+	if meas.Instructions > 150_000 {
+		t.Fatalf("measured instructions = %d include warm-up", meas.Instructions)
+	}
+}
+
+// emptyFactory produces zero-instruction blocks — a workload bug the
+// machine must fail loudly on.
+type emptyFactory struct{}
+
+type emptyGen struct{}
+
+func (emptyFactory) NewGenerator(int, uint64) trace.Generator { return emptyGen{} }
+func (emptyGen) NextBlock(*trace.Block)                       {}
+
+func TestEmptyBlockPanics(t *testing.T) {
+	m, err := New(quickConfig(1), "broken", emptyFactory{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on empty block")
+		}
+	}()
+	_, _ = m.Run(0, 1000)
+}
+
+func TestMPIxMP(t *testing.T) {
+	m := Measurement{MPI: 0.005, MPCycles: 200}
+	if got := m.MPIxMP(); got != 1.0 {
+		t.Fatalf("MPIxMP = %v, want 1.0", got)
+	}
+}

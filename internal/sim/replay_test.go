@@ -1,0 +1,68 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+// replayFactory hands every thread a Replayer over the same recording.
+type replayFactory struct{ data []byte }
+
+func (f replayFactory) NewGenerator(thread int, seed uint64) trace.Generator {
+	rep, err := trace.NewReplayer(bytes.NewReader(f.data))
+	if err != nil {
+		panic(err)
+	}
+	return rep
+}
+
+// TestRecordedTraceReplaysAcrossConfigs is the trace-driven-simulation
+// property: one recorded stream, replayed on two machine configurations,
+// shows the frequency-scaling effect of §V.A on *identical* instruction
+// sequences.
+func TestRecordedTraceReplaysAcrossConfigs(t *testing.T) {
+	// Record a window of the scan workload.
+	var buf bytes.Buffer
+	rec, err := trace.NewRecorder(scanFactory{baseCPI: 1}.NewGenerator(0, 42), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b trace.Block
+	for i := 0; i < 4000; i++ {
+		b.Reset()
+		rec.NextBlock(&b)
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(ghz float64) Measurement {
+		cfg := quickConfig(4)
+		cfg.Core.Freq = units.GHzOf(ghz)
+		m, err := New(cfg, "replay", replayFactory{buf.Bytes()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		meas, err := m.Run(100_000, 400_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return meas
+	}
+
+	slow, fast := run(2.1), run(3.1)
+	// Identical streams: miss rates match almost exactly.
+	if d := slow.MPKI - fast.MPKI; d > 0.1 || d < -0.1 {
+		t.Fatalf("replayed MPKI diverged: %v vs %v", slow.MPKI, fast.MPKI)
+	}
+	// Frequency scaling: the same misses cost more cycles at 3.1 GHz.
+	if fast.CPI <= slow.CPI {
+		t.Fatalf("CPI at 3.1GHz (%v) must exceed 2.1GHz (%v) on the same trace", fast.CPI, slow.CPI)
+	}
+	if fast.MPCycles <= slow.MPCycles {
+		t.Fatalf("MP in cycles must grow with frequency: %v vs %v", fast.MPCycles, slow.MPCycles)
+	}
+}

@@ -1,0 +1,190 @@
+// Package stats provides the small set of summary statistics the
+// characterization methodology needs: means, variances, percentiles,
+// weighted aggregation across program phases (paper §IV.D), and running
+// (online) accumulators used by the PMU sampler.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by reductions over empty samples.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Mean returns the arithmetic mean of xs. It returns 0 for an empty slice;
+// callers that must distinguish use MeanErr.
+func Mean(xs []float64) float64 {
+	m, _ := MeanErr(xs)
+	return m
+}
+
+// MeanErr returns the arithmetic mean of xs, or ErrEmpty.
+func MeanErr(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs)), nil
+}
+
+// WeightedMean returns sum(w_i*x_i)/sum(w_i). The paper weights per-phase
+// model components by the number of instructions in each phase (§IV.D).
+func WeightedMean(xs, ws []float64) (float64, error) {
+	if len(xs) == 0 || len(xs) != len(ws) {
+		return 0, ErrEmpty
+	}
+	var sw, swx float64
+	for i, x := range xs {
+		sw += ws[i]
+		swx += ws[i] * x
+	}
+	if sw == 0 {
+		return 0, ErrEmpty
+	}
+	return swx / sw, nil
+}
+
+// Variance returns the population variance of xs (0 for n < 2).
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Min returns the smallest element of xs (0 for empty).
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element of xs (0 for empty).
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) of xs using linear
+// interpolation between closest ranks. xs need not be sorted.
+func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if p < 0 || p > 100 {
+		return 0, errors.New("stats: percentile out of range")
+	}
+	ys := append([]float64(nil), xs...)
+	sort.Float64s(ys)
+	if len(ys) == 1 {
+		return ys[0], nil
+	}
+	rank := p / 100 * float64(len(ys)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return ys[lo], nil
+	}
+	frac := rank - float64(lo)
+	return ys[lo]*(1-frac) + ys[hi]*frac, nil
+}
+
+// Running accumulates a stream of observations with O(1) memory using
+// Welford's algorithm. The PMU sampler uses one per event ratio.
+type Running struct {
+	n        int
+	mean, m2 float64
+	min, max float64
+}
+
+// Add incorporates one observation.
+func (r *Running) Add(x float64) {
+	r.n++
+	if r.n == 1 {
+		r.min, r.max = x, x
+	} else {
+		if x < r.min {
+			r.min = x
+		}
+		if x > r.max {
+			r.max = x
+		}
+	}
+	d := x - r.mean
+	r.mean += d / float64(r.n)
+	r.m2 += d * (x - r.mean)
+}
+
+// N reports the number of observations added.
+func (r *Running) N() int { return r.n }
+
+// Mean reports the running mean (0 before any observation).
+func (r *Running) Mean() float64 { return r.mean }
+
+// Variance reports the running population variance.
+func (r *Running) Variance() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n)
+}
+
+// StdDev reports the running population standard deviation.
+func (r *Running) StdDev() float64 { return math.Sqrt(r.Variance()) }
+
+// Min reports the smallest observation (0 before any observation).
+func (r *Running) Min() float64 { return r.min }
+
+// Max reports the largest observation (0 before any observation).
+func (r *Running) Max() float64 { return r.max }
+
+// RelError returns (got-want)/want. The paper's Table 3 reports model error
+// this way ("Error" row, within ±3%).
+func RelError(got, want float64) float64 {
+	if want == 0 {
+		if got == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return (got - want) / want
+}
+
+// CoefficientOfVariation returns StdDev/Mean, the run-to-run variation
+// measure the paper uses to validate the fixed-pathlength assumption.
+func CoefficientOfVariation(xs []float64) float64 {
+	m := Mean(xs)
+	if m == 0 {
+		return 0
+	}
+	return StdDev(xs) / m
+}

@@ -1,0 +1,182 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("Mean = %v, want 2.5", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("Mean(nil) = %v, want 0", got)
+	}
+}
+
+func TestMeanErrEmpty(t *testing.T) {
+	if _, err := MeanErr(nil); err != ErrEmpty {
+		t.Fatalf("MeanErr(nil) err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestWeightedMean(t *testing.T) {
+	got, err := WeightedMean([]float64{1, 3}, []float64{3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1.5 {
+		t.Fatalf("WeightedMean = %v, want 1.5", got)
+	}
+}
+
+func TestWeightedMeanErrors(t *testing.T) {
+	if _, err := WeightedMean(nil, nil); err == nil {
+		t.Fatal("want error for empty input")
+	}
+	if _, err := WeightedMean([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("want error for mismatched lengths")
+	}
+	if _, err := WeightedMean([]float64{1}, []float64{0}); err == nil {
+		t.Fatal("want error for zero total weight")
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); got != 4 {
+		t.Fatalf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(xs); got != 2 {
+		t.Fatalf("StdDev = %v, want 2", got)
+	}
+	if got := Variance([]float64{5}); got != 0 {
+		t.Fatalf("Variance of single value = %v, want 0", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if got := Min(xs); got != -1 {
+		t.Fatalf("Min = %v", got)
+	}
+	if got := Max(xs); got != 7 {
+		t.Fatalf("Max = %v", got)
+	}
+	if Min(nil) != 0 || Max(nil) != 0 {
+		t.Fatal("Min/Max of empty should be 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2} // unsorted on purpose
+	cases := []struct {
+		p, want float64
+	}{
+		{0, 1}, {100, 4}, {50, 2.5}, {25, 1.75},
+	}
+	for _, c := range cases {
+		got, err := Percentile(xs, c.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileErrors(t *testing.T) {
+	if _, err := Percentile(nil, 50); err != ErrEmpty {
+		t.Fatalf("err = %v, want ErrEmpty", err)
+	}
+	if _, err := Percentile([]float64{1}, -1); err == nil {
+		t.Fatal("want error for p<0")
+	}
+	if _, err := Percentile([]float64{1}, 101); err == nil {
+		t.Fatal("want error for p>100")
+	}
+}
+
+func TestPercentileSingle(t *testing.T) {
+	got, err := Percentile([]float64{7}, 90)
+	if err != nil || got != 7 {
+		t.Fatalf("Percentile single = %v, %v", got, err)
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if _, err := Percentile(xs, 50); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+// Property: the Running accumulator matches the batch computations.
+func TestRunningMatchesBatch(t *testing.T) {
+	f := func(raw []float64) bool {
+		var xs []float64
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e9 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		var r Running
+		for _, x := range xs {
+			r.Add(x)
+		}
+		tol := 1e-6 * math.Max(1, math.Abs(Mean(xs)))
+		if math.Abs(r.Mean()-Mean(xs)) > tol {
+			return false
+		}
+		if r.Min() != Min(xs) || r.Max() != Max(xs) {
+			return false
+		}
+		vTol := 1e-6 * math.Max(1, Variance(xs))
+		return math.Abs(r.Variance()-Variance(xs)) <= vTol && r.N() == len(xs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunningEmpty(t *testing.T) {
+	var r Running
+	if r.Mean() != 0 || r.Variance() != 0 || r.N() != 0 || r.StdDev() != 0 {
+		t.Fatal("zero Running should report zeros")
+	}
+}
+
+func TestRelError(t *testing.T) {
+	if got := RelError(1.02, 1.0); math.Abs(got-0.02) > 1e-12 {
+		t.Fatalf("RelError = %v, want 0.02", got)
+	}
+	if got := RelError(0, 0); got != 0 {
+		t.Fatalf("RelError(0,0) = %v, want 0", got)
+	}
+	if got := RelError(1, 0); !math.IsInf(got, 1) {
+		t.Fatalf("RelError(1,0) = %v, want +Inf", got)
+	}
+}
+
+func TestCoefficientOfVariation(t *testing.T) {
+	// The paper validates its fixed-pathlength assumption with low
+	// run-to-run variation; the CoV of identical samples must be 0.
+	if got := CoefficientOfVariation([]float64{5, 5, 5}); got != 0 {
+		t.Fatalf("CoV of constant = %v, want 0", got)
+	}
+	if got := CoefficientOfVariation([]float64{0, 0}); got != 0 {
+		t.Fatalf("CoV with zero mean = %v, want 0", got)
+	}
+	got := CoefficientOfVariation([]float64{9, 11})
+	if math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("CoV = %v, want 0.1", got)
+	}
+}

@@ -1,0 +1,155 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+// synthGen emits a deterministic mixed stream for round-trip tests.
+type synthGen struct {
+	rng *RNG
+	i   int
+}
+
+func (g *synthGen) NextBlock(b *Block) {
+	g.i++
+	b.Instructions = uint64(400 + g.i%3*100)
+	b.BaseCPI = 0.8 + float64(g.i%5)*0.1
+	b.Chains = g.i % 4
+	if g.i%7 == 0 {
+		b.IOBytes = 4096
+	}
+	if g.i%11 == 0 {
+		b.IdleNS = 250
+	}
+	n := g.rng.Intn(6)
+	for j := 0; j < n; j++ {
+		addr := g.rng.Uint64n(1<<40) + 64
+		switch g.rng.Intn(4) {
+		case 0:
+			b.AddRef(addr, true)
+		case 1:
+			b.AddNT(addr)
+		default:
+			b.Refs = append(b.Refs, Ref{Addr: addr, NoPrefetch: g.rng.Bernoulli(0.2)})
+		}
+	}
+}
+
+func record(t *testing.T, n int, seed uint64) ([]Block, []byte) {
+	t.Helper()
+	gen := &synthGen{rng: NewRNG(seed)}
+	var buf bytes.Buffer
+	rec, err := NewRecorder(gen, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []Block
+	var b Block
+	for i := 0; i < n; i++ {
+		b.Reset()
+		rec.NextBlock(&b)
+		cp := b
+		cp.Refs = append([]Ref(nil), b.Refs...)
+		want = append(want, cp)
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Err() != nil {
+		t.Fatal(rec.Err())
+	}
+	return want, buf.Bytes()
+}
+
+func TestRecordReplayRoundTrip(t *testing.T) {
+	want, data := record(t, 200, 42)
+	rep, err := NewReplayer(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Len() != len(want) {
+		t.Fatalf("replay length = %d, want %d", rep.Len(), len(want))
+	}
+	var got Block
+	for i, w := range want {
+		got.Reset()
+		rep.NextBlock(&got)
+		if got.Instructions != w.Instructions || got.BaseCPI != w.BaseCPI ||
+			got.Chains != w.Chains || got.IOBytes != w.IOBytes || got.IdleNS != w.IdleNS {
+			t.Fatalf("block %d header mismatch: %+v vs %+v", i, got, w)
+		}
+		if len(got.Refs) != len(w.Refs) {
+			t.Fatalf("block %d refs = %d, want %d", i, len(got.Refs), len(w.Refs))
+		}
+		for j := range w.Refs {
+			if got.Refs[j] != w.Refs[j] {
+				t.Fatalf("block %d ref %d = %+v, want %+v", i, j, got.Refs[j], w.Refs[j])
+			}
+		}
+	}
+}
+
+func TestReplayerLoops(t *testing.T) {
+	want, data := record(t, 5, 7)
+	rep, err := NewReplayer(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b Block
+	for i := 0; i < 12; i++ {
+		b.Reset()
+		rep.NextBlock(&b)
+		if b.Instructions != want[i%5].Instructions {
+			t.Fatalf("loop iteration %d did not wrap", i)
+		}
+	}
+}
+
+func TestReplayerRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("XXXX\x01\x00"),
+		[]byte("MMTR\x09\x00"),     // wrong version
+		[]byte("MMTR\x01\x00\x05"), // truncated block
+		[]byte("MMTR\x01\x00\x00"), // empty trace (terminator only)
+	}
+	for i, data := range cases {
+		if _, err := NewReplayer(bytes.NewReader(data)); !errors.Is(err, ErrBadTrace) {
+			t.Errorf("case %d: err = %v, want ErrBadTrace", i, err)
+		}
+	}
+}
+
+func TestRecorderNilGenerator(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := NewRecorder(nil, &buf); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestZigzagRoundTrip(t *testing.T) {
+	f := func(v int64) bool { return unzigzag(zigzag(v)) == v }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceCompactness(t *testing.T) {
+	// Delta-encoded addresses should keep the stream well under the
+	// naive 17 bytes/ref (8 addr + 8 pad + flag).
+	want, data := record(t, 1000, 99)
+	refs := 0
+	for _, b := range want {
+		refs += len(b.Refs)
+	}
+	if refs == 0 {
+		t.Fatal("no refs recorded")
+	}
+	perRef := float64(len(data)) / float64(refs)
+	if perRef > 40 {
+		t.Fatalf("trace too fat: %.1f bytes/ref", perRef)
+	}
+}

@@ -1,0 +1,81 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// TestCalibrationBands is the guard rail on the workload kernels: each
+// one's measured steady-state signature must stay within a band around
+// its paper target (Tables 2/4/5 — see the per-file target comments).
+// The bands are deliberately loose (±35% relative, or absolute floors
+// for tiny values); tightening beyond that would pin simulator noise
+// rather than behaviour. Fit-level comparisons live in
+// internal/experiments.
+func TestCalibrationBands(t *testing.T) {
+	if testing.Short() {
+		t.Skip("steady-state runs for all 14 workloads")
+	}
+	type band struct {
+		mpkiLo, mpkiHi float64
+		wbrLo, wbrHi   float64
+		utilLo         float64
+	}
+	bands := map[string]band{
+		"columnstore":    {4.5, 7.0, 0.20, 0.45, 0.95},
+		"nits":           {4.0, 6.5, 1.30, 2.30, 0.95},
+		"proximity":      {0.3, 1.2, 0.00, 0.60, 0.95},
+		"spark":          {4.2, 7.5, 0.45, 0.90, 0.55},
+		"oltp":           {6.5, 11.0, 0.12, 0.35, 0.95},
+		"jvm":            {3.5, 6.5, 0.22, 0.48, 0.95},
+		"virtualization": {5.8, 9.8, 0.20, 0.42, 0.95},
+		"webcache":       {4.5, 8.0, 0.10, 0.28, 0.40},
+		"bwaves":         {26, 38, 0.22, 0.40, 0.95},
+		"milc":           {24, 36, 0.26, 0.46, 0.95},
+		"soplex":         {20, 30, 0.18, 0.34, 0.95},
+		"wrf":            {16, 24, 0.12, 0.26, 0.95},
+		"raytrace":       {0.0, 0.5, 0, 2, 0.95},
+		"interp":         {0.0, 0.8, 0, 2, 0.95},
+	}
+
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name(), func(t *testing.T) {
+			t.Parallel()
+			b, ok := bands[w.Name()]
+			if !ok {
+				t.Fatalf("no calibration band for %s", w.Name())
+			}
+			cfg := sim.DefaultConfig()
+			cfg.Threads = w.FitThreads()
+			cfg.Core.Freq = units.GHzOf(2.5)
+			m, err := sim.New(cfg, w.Name(), w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			meas, err := m.Run(30_000_000, 4_000_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if meas.MPKI < b.mpkiLo || meas.MPKI > b.mpkiHi {
+				t.Errorf("MPKI = %.2f, band [%v, %v]", meas.MPKI, b.mpkiLo, b.mpkiHi)
+			}
+			if meas.WBR < b.wbrLo || meas.WBR > b.wbrHi {
+				t.Errorf("WBR = %.2f, band [%v, %v]", meas.WBR, b.wbrLo, b.wbrHi)
+			}
+			if meas.Utilization < b.utilLo {
+				t.Errorf("utilization = %.2f, want ≥ %v", meas.Utilization, b.utilLo)
+			}
+			if meas.CPI <= 0.4 || meas.CPI > 4 {
+				t.Errorf("CPI = %.2f out of any plausible range", meas.CPI)
+			}
+			// Loaded miss penalty must sit above the 75 ns compulsory
+			// (except pure core-bound runs with almost no load misses).
+			if meas.MPKI > 1 && meas.MP < 74*units.Nanosecond {
+				t.Errorf("MP = %v below compulsory", meas.MP)
+			}
+		})
+	}
+}

@@ -1,0 +1,145 @@
+package workloads
+
+import (
+	"errors"
+
+	"repro/internal/memsys"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+// MLC reproduces the role of the Intel® Memory Latency Checker (§III.D):
+// a traffic generator that injects memory requests "on multiple cores to
+// randomly distributed addresses in the memory space at different arrival
+// rates" and measures loaded latency and achieved bandwidth. The paper
+// uses it to calibrate the queuing-delay-versus-utilization relationship
+// (Fig. 7); cmd/mlc exposes it as a tool.
+//
+// Unlike the workload kernels, MLC drives the memory simulator directly
+// (no caches): real MLC's buffers are sized and strided to defeat caching.
+type MLC struct {
+	// ReadFraction is the read share of the injected mix: 1.0 for the
+	// paper's 100%-read case, 2.0/3.0 for its 2:1 read/write case.
+	ReadFraction float64
+	// Rate is the target injection bandwidth.
+	Rate units.BytesPerSecond
+	// Duration is the simulated injection time.
+	Duration units.Duration
+	// Seed makes the arrival process reproducible.
+	Seed uint64
+}
+
+// MLCResult reports one injection run.
+type MLCResult struct {
+	Achieved    units.BytesPerSecond // bandwidth actually delivered
+	AvgLatency  units.Duration       // mean read latency (loaded)
+	AvgQueue    units.Duration       // mean queuing component, all requests
+	Utilization float64              // achieved / nominal peak
+	Requests    uint64
+}
+
+// mlcRegionBytes is the span of the random address pattern: far larger
+// than any cache, spread across all channels and banks.
+const mlcRegionBytes = 4 << 30
+
+// Run injects traffic into a fresh simulator built from cfg.
+func (m MLC) Run(cfg memsys.Config) (MLCResult, error) {
+	if m.Rate <= 0 {
+		return MLCResult{}, errors.New("workloads: MLC.Rate must be positive")
+	}
+	if m.Duration <= 0 {
+		return MLCResult{}, errors.New("workloads: MLC.Duration must be positive")
+	}
+	if m.ReadFraction < 0 || m.ReadFraction > 1 {
+		return MLCResult{}, errors.New("workloads: MLC.ReadFraction must be in [0,1]")
+	}
+	sim, err := memsys.NewSimulator(cfg)
+	if err != nil {
+		return MLCResult{}, err
+	}
+	return m.RunOn(sim)
+}
+
+// RunOn injects traffic into an existing simulator (counters are reset
+// first). Exposed separately so calibration sweeps can reuse a simulator.
+func (m MLC) RunOn(sim *memsys.Simulator) (MLCResult, error) {
+	sim.ResetCounters()
+	cfg := sim.Config()
+	rng := trace.NewRNG(m.Seed ^ 0x317C)
+	lines := uint64(mlcRegionBytes) / uint64(cfg.LineSize)
+
+	// Open-loop Poisson arrivals at the target rate.
+	meanGapNS := float64(cfg.LineSize) / float64(m.Rate) * 1e9
+	now := units.Duration(0)
+	var reads, total uint64
+	var latSum, queueSum float64
+	for now < m.Duration {
+		now += units.Duration(rng.Exp(meanGapNS))
+		addr := rng.Uint64n(lines) * uint64(cfg.LineSize)
+		op := memsys.Read
+		if !rng.Bernoulli(m.ReadFraction) {
+			op = memsys.Write
+		}
+		res := sim.Access(now, addr, op)
+		total++
+		queueSum += float64(res.QueueDelay)
+		if op == memsys.Read {
+			reads++
+			latSum += float64(res.Latency)
+		}
+	}
+
+	out := MLCResult{Requests: total}
+	ctr := sim.Counters()
+	out.Achieved = ctr.Bandwidth()
+	if reads > 0 {
+		out.AvgLatency = units.Duration(latSum / float64(reads))
+	}
+	if total > 0 {
+		out.AvgQueue = units.Duration(queueSum / float64(total))
+	}
+	if peak := cfg.NominalPeak(); peak > 0 {
+		out.Utilization = float64(out.Achieved) / float64(peak)
+	}
+	return out, nil
+}
+
+// IdleLatency measures the unloaded memory latency the way MLC's latency
+// mode does: a dependent pointer chase with one request in flight.
+func IdleLatency(cfg memsys.Config, samples int) (units.Duration, error) {
+	sim, err := memsys.NewSimulator(cfg)
+	if err != nil {
+		return 0, err
+	}
+	if samples <= 0 {
+		samples = 1000
+	}
+	rng := trace.NewRNG(0x1D7E)
+	lines := uint64(mlcRegionBytes) / uint64(cfg.LineSize)
+	now := units.Duration(0)
+	sum := 0.0
+	for i := 0; i < samples; i++ {
+		addr := rng.Uint64n(lines) * uint64(cfg.LineSize)
+		res := sim.Access(now, addr, memsys.Read)
+		sum += float64(res.Latency)
+		now += res.Latency // next load issues only when this one returns
+	}
+	return units.Duration(sum / float64(samples)), nil
+}
+
+// MaxBandwidth measures the saturated bandwidth for a given read mix by
+// injecting far beyond the raw channel rate — the "maximum possible
+// bandwidth consumption, or efficiency, for each case" of §VI.C.1.
+func MaxBandwidth(cfg memsys.Config, readFraction float64, seed uint64) (units.BytesPerSecond, error) {
+	m := MLC{
+		ReadFraction: readFraction,
+		Rate:         cfg.RawBandwidth() * 2,
+		Duration:     200 * units.Microsecond,
+		Seed:         seed,
+	}
+	res, err := m.Run(cfg)
+	if err != nil {
+		return 0, err
+	}
+	return res.Achieved, nil
+}

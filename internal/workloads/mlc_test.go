@@ -1,0 +1,159 @@
+package workloads
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/memsys"
+	"repro/internal/units"
+)
+
+func TestMLCValidation(t *testing.T) {
+	cfg := memsys.DefaultConfig()
+	bad := []MLC{
+		{ReadFraction: 1, Rate: 0, Duration: units.Microsecond},
+		{ReadFraction: 1, Rate: units.GBpsOf(1), Duration: 0},
+		{ReadFraction: 1.5, Rate: units.GBpsOf(1), Duration: units.Microsecond},
+		{ReadFraction: -0.1, Rate: units.GBpsOf(1), Duration: units.Microsecond},
+	}
+	for i, m := range bad {
+		if _, err := m.Run(cfg); err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+	badCfg := cfg
+	badCfg.Channels = 0
+	good := MLC{ReadFraction: 1, Rate: units.GBpsOf(1), Duration: units.Microsecond}
+	if _, err := good.Run(badCfg); err == nil {
+		t.Fatal("want error for bad memory config")
+	}
+}
+
+func TestIdleLatencyMatchesCompulsory(t *testing.T) {
+	cfg := memsys.DefaultConfig()
+	lat, err := IdleLatency(cfg, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A dependent chase never queues: latency ≈ compulsory (+overhead).
+	if lat.Nanoseconds() < 74 || lat.Nanoseconds() > 80 {
+		t.Fatalf("idle latency = %v, want ≈75-78ns", lat)
+	}
+}
+
+func TestIdleLatencyDefaultSamples(t *testing.T) {
+	if _, err := IdleLatency(memsys.DefaultConfig(), 0); err != nil {
+		t.Fatal(err)
+	}
+	bad := memsys.DefaultConfig()
+	bad.Channels = 0
+	if _, err := IdleLatency(bad, 10); err == nil {
+		t.Fatal("want config error")
+	}
+}
+
+func TestMaxBandwidthEfficiency(t *testing.T) {
+	cfg := memsys.DefaultConfig()
+	max, err := MaxBandwidth(cfg, 1.0, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eff := float64(max) / float64(cfg.RawBandwidth())
+	// The paper's ~70% efficiency for 100% reads on DDR3-1867.
+	if eff < 0.64 || eff > 0.76 {
+		t.Fatalf("efficiency = %v, want ≈0.70", eff)
+	}
+}
+
+func TestMixedStreamLowerEfficiency(t *testing.T) {
+	// Fig. 7: the 2:1 read/write mix achieves less than the pure-read
+	// stream (turnaround penalties).
+	cfg := memsys.DefaultConfig()
+	pure, err := MaxBandwidth(cfg, 1.0, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed, err := MaxBandwidth(cfg, 2.0/3.0, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mixed >= pure {
+		t.Fatalf("mixed (%v) must be below pure reads (%v)", mixed, pure)
+	}
+}
+
+func TestLoadedLatencyRises(t *testing.T) {
+	cfg := memsys.DefaultConfig()
+	run := func(frac float64) units.Duration {
+		peak, err := MaxBandwidth(cfg, 1.0, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := MLC{ReadFraction: 1, Rate: peak * units.BytesPerSecond(frac), Duration: 60 * units.Microsecond, Seed: 7}
+		res, err := m.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.AvgLatency
+	}
+	light, heavy := run(0.1), run(0.9)
+	if heavy <= light {
+		t.Fatalf("loaded latency must rise with load: %v vs %v", light, heavy)
+	}
+	if heavy-light < 5*units.Nanosecond {
+		t.Fatalf("queuing at 90%% utilization too small: Δ=%v", heavy-light)
+	}
+}
+
+func TestMLCAchievesTargetAtLowRate(t *testing.T) {
+	cfg := memsys.DefaultConfig()
+	m := MLC{ReadFraction: 1, Rate: units.GBpsOf(5), Duration: 60 * units.Microsecond, Seed: 3}
+	res, err := m.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Achieved.GBps()-5) > 0.5 {
+		t.Fatalf("achieved %v, want ≈5 GB/s", res.Achieved.GBps())
+	}
+	if res.Requests == 0 {
+		t.Fatal("requests must count")
+	}
+	if res.Utilization <= 0 || res.Utilization > 0.2 {
+		t.Fatalf("utilization = %v", res.Utilization)
+	}
+}
+
+func TestMLCDeterministicWithSeed(t *testing.T) {
+	cfg := memsys.DefaultConfig()
+	m := MLC{ReadFraction: 0.8, Rate: units.GBpsOf(10), Duration: 20 * units.Microsecond, Seed: 9}
+	a, err := m.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("MLC runs with the same seed must be identical")
+	}
+}
+
+func TestRunOnReusesSimulator(t *testing.T) {
+	sim, err := memsys.NewSimulator(memsys.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := MLC{ReadFraction: 1, Rate: units.GBpsOf(5), Duration: 10 * units.Microsecond, Seed: 1}
+	if _, err := m.RunOn(sim); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := m.RunOn(sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Counters reset between runs, so the second run's stats stand alone.
+	if res2.Requests == 0 || res2.Achieved <= 0 {
+		t.Fatalf("second run: %+v", res2)
+	}
+}

@@ -1,0 +1,137 @@
+// Package workloads implements the paper's workload suite as synthetic
+// kernels with real data structures: the four big-data workloads of §III.A
+// (in-memory column store, needle-in-the-haystack search, proximity
+// search, Spark-style graph analytics), the four enterprise workloads of
+// §III.B (OLTP, JVM middle tier, virtualization consolidation, web-tier
+// caching), SPECfp-proxy HPC kernels (§III.C: bwaves, milc, soplex, wrf),
+// core-bound SPEC proxies (the near-origin cluster of Fig. 6), and the
+// Intel Memory Latency Checker equivalent used for calibration (§III.D).
+//
+// Each kernel genuinely executes its algorithm (bit-unpacking, bloom
+// probes, B-tree descents, CSR traversal, stencil sweeps) over real Go
+// data structures; the *addresses* it touches come from synthetic regions
+// sized to the paper's footprints ("footprint virtualization", DESIGN.md
+// §2). The constants in each kernel are calibrated so the *measured,
+// fitted* model parameters (CPI_cache, BF, MPKI, WBR) land on the paper's
+// Tables 2/4/5.
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// Class is a workload segment, the paper's three clusters plus the
+// core-bound micro cluster near Fig. 6's origin.
+type Class int
+
+// Workload classes.
+const (
+	BigData Class = iota
+	Enterprise
+	HPC
+	Micro
+)
+
+// String names the class as the paper does.
+func (c Class) String() string {
+	switch c {
+	case BigData:
+		return "Big Data"
+	case Enterprise:
+		return "Enterprise"
+	case HPC:
+		return "HPC"
+	case Micro:
+		return "Core Bound"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Workload is a named, classed trace-generator factory. It implements
+// sim.GeneratorFactory.
+type Workload struct {
+	name  string
+	class Class
+	// fitThreads is the thread count the paper used for this workload's
+	// scaling runs (HPC used 6 threads/socket to stay latency-limited,
+	// §V.N; everything else used the full machine).
+	fitThreads int
+	newGen     func(thread int, seed uint64) trace.Generator
+}
+
+// Name returns the workload's registry name.
+func (w Workload) Name() string { return w.name }
+
+// Class returns the workload's segment.
+func (w Workload) Class() Class { return w.class }
+
+// FitThreads returns the thread count used for model-fitting runs.
+func (w Workload) FitThreads() int { return w.fitThreads }
+
+// NewGenerator implements sim.GeneratorFactory.
+func (w Workload) NewGenerator(thread int, seed uint64) trace.Generator {
+	return w.newGen(thread, seed)
+}
+
+// threadBase spreads per-thread synthetic footprints across disjoint
+// address ranges.
+func threadBase(thread int) uint64 { return uint64(thread+1) << 36 }
+
+var registry = map[string]Workload{}
+
+func register(w Workload) Workload {
+	if _, dup := registry[w.name]; dup {
+		panic("workloads: duplicate registration of " + w.name)
+	}
+	registry[w.name] = w
+	return w
+}
+
+// ByName returns the named workload.
+func ByName(name string) (Workload, error) {
+	w, ok := registry[name]
+	if !ok {
+		return Workload{}, fmt.Errorf("workloads: unknown workload %q", name)
+	}
+	return w, nil
+}
+
+// All returns every registered workload, sorted by class then name.
+func All() []Workload {
+	out := make([]Workload, 0, len(registry))
+	for _, w := range registry {
+		out = append(out, w)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].class != out[j].class {
+			return out[i].class < out[j].class
+		}
+		return out[i].name < out[j].name
+	})
+	return out
+}
+
+// ByClass returns the registered workloads of one class, sorted by name.
+func ByClass(c Class) []Workload {
+	var out []Workload
+	for _, w := range All() {
+		if w.class == c {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// Names returns all registry names sorted.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,235 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	names := Names()
+	want := []string{
+		"bwaves", "columnstore", "interp", "jvm", "milc", "nits", "oltp",
+		"proximity", "raytrace", "soplex", "spark", "virtualization",
+		"webcache", "wrf",
+	}
+	if len(names) != len(want) {
+		t.Fatalf("registry has %d workloads: %v", len(names), names)
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Fatalf("names[%d] = %q, want %q", i, names[i], n)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	w, err := ByName("columnstore")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name() != "columnstore" || w.Class() != BigData {
+		t.Fatalf("got %v/%v", w.Name(), w.Class())
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("want error for unknown workload")
+	}
+}
+
+func TestClassMembership(t *testing.T) {
+	counts := map[Class]int{}
+	for _, w := range All() {
+		counts[w.Class()]++
+	}
+	if counts[BigData] != 4 || counts[Enterprise] != 4 || counts[HPC] != 4 || counts[Micro] != 2 {
+		t.Fatalf("class counts = %v", counts)
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if BigData.String() != "Big Data" || Enterprise.String() != "Enterprise" ||
+		HPC.String() != "HPC" || Micro.String() != "Core Bound" {
+		t.Fatal("class names")
+	}
+	if Class(99).String() == "" {
+		t.Fatal("unknown class must still format")
+	}
+}
+
+func TestHPCFitThreads(t *testing.T) {
+	// §V.N: HPC fitting used six hardware threads to stay latency
+	// limited.
+	for _, w := range ByClass(HPC) {
+		if w.FitThreads() != 6 {
+			t.Fatalf("%s FitThreads = %d, want 6", w.Name(), w.FitThreads())
+		}
+	}
+	for _, w := range ByClass(BigData) {
+		if w.FitThreads() != 16 {
+			t.Fatalf("%s FitThreads = %d, want 16", w.Name(), w.FitThreads())
+		}
+	}
+}
+
+func TestAllSortedByClassThenName(t *testing.T) {
+	all := All()
+	for i := 1; i < len(all); i++ {
+		a, b := all[i-1], all[i]
+		if a.Class() > b.Class() || (a.Class() == b.Class() && a.Name() > b.Name()) {
+			t.Fatalf("All() not sorted at %d: %v/%v then %v/%v", i, a.Class(), a.Name(), b.Class(), b.Name())
+		}
+	}
+}
+
+// TestGeneratorsProduceSaneBlocks drives every workload's generator
+// directly and checks the block invariants the machine depends on.
+func TestGeneratorsProduceSaneBlocks(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name(), func(t *testing.T) {
+			gen := w.NewGenerator(0, 42)
+			var b trace.Block
+			totalRefs := 0
+			for i := 0; i < 2000; i++ {
+				b.Reset()
+				gen.NextBlock(&b)
+				if b.Instructions == 0 {
+					t.Fatalf("block %d: zero instructions", i)
+				}
+				if b.BaseCPI <= 0 || b.BaseCPI > 4 {
+					t.Fatalf("block %d: BaseCPI %v out of range", i, b.BaseCPI)
+				}
+				if b.Chains < 0 {
+					t.Fatalf("block %d: negative chains", i)
+				}
+				if len(b.Refs) > 64 {
+					t.Fatalf("block %d: %d refs — too bursty for the event loop", i, len(b.Refs))
+				}
+				for _, r := range b.Refs {
+					if r.Addr == 0 {
+						t.Fatalf("block %d: null address", i)
+					}
+				}
+				totalRefs += len(b.Refs)
+			}
+			if totalRefs == 0 {
+				t.Fatal("generator produced no memory references at all")
+			}
+		})
+	}
+}
+
+// TestGeneratorsDeterministic verifies that the same seed reproduces the
+// same block stream — the paper's low run-to-run variation requirement.
+func TestGeneratorsDeterministic(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name(), func(t *testing.T) {
+			g1 := w.NewGenerator(3, 7)
+			g2 := w.NewGenerator(3, 7)
+			var b1, b2 trace.Block
+			for i := 0; i < 500; i++ {
+				b1.Reset()
+				b2.Reset()
+				g1.NextBlock(&b1)
+				g2.NextBlock(&b2)
+				if b1.Instructions != b2.Instructions || len(b1.Refs) != len(b2.Refs) {
+					t.Fatalf("block %d diverged", i)
+				}
+				for j := range b1.Refs {
+					if b1.Refs[j] != b2.Refs[j] {
+						t.Fatalf("block %d ref %d diverged", i, j)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestThreadsUseDisjointAddresses confirms per-thread footprints do not
+// alias (threads have private caches; aliasing would be meaningless).
+func TestThreadsUseDisjointAddresses(t *testing.T) {
+	w, _ := ByName("columnstore")
+	seen := map[int]map[uint64]bool{}
+	for thread := 0; thread < 2; thread++ {
+		gen := w.NewGenerator(thread, 42)
+		seen[thread] = map[uint64]bool{}
+		var b trace.Block
+		for i := 0; i < 500; i++ {
+			b.Reset()
+			gen.NextBlock(&b)
+			for _, r := range b.Refs {
+				seen[thread][r.Addr&^uint64(63)] = true
+			}
+		}
+	}
+	for addr := range seen[0] {
+		if seen[1][addr] {
+			t.Fatalf("threads share address %x", addr)
+		}
+	}
+}
+
+func TestNITSEmitsNonTemporalAndIO(t *testing.T) {
+	w, _ := ByName("nits")
+	gen := w.NewGenerator(0, 42)
+	var b trace.Block
+	nt, io := 0, 0.0
+	for i := 0; i < 100; i++ {
+		b.Reset()
+		gen.NextBlock(&b)
+		for _, r := range b.Refs {
+			if r.NonTemporal {
+				nt++
+			}
+		}
+		io += b.IOBytes
+	}
+	if nt == 0 {
+		t.Fatal("NITS must emit non-temporal stores (its WBR exceeds 100%)")
+	}
+	if io == 0 {
+		t.Fatal("NITS must emit I/O traffic (>2 GB/s in the paper)")
+	}
+}
+
+func TestSparkIdles(t *testing.T) {
+	w, _ := ByName("spark")
+	gen := w.NewGenerator(0, 42)
+	var b trace.Block
+	idle := 0.0
+	for i := 0; i < 500; i++ {
+		b.Reset()
+		gen.NextBlock(&b)
+		idle += b.IdleNS
+	}
+	if idle == 0 {
+		t.Fatal("spark must idle at superstep barriers (~70% utilization)")
+	}
+}
+
+func TestOLTPDescentIsSerial(t *testing.T) {
+	w, _ := ByName("oltp")
+	gen := w.NewGenerator(0, 42)
+	var b trace.Block
+	serialSeen := false
+	for i := 0; i < 20; i++ {
+		b.Reset()
+		gen.NextBlock(&b)
+		if b.Chains == 1 && len(b.Refs) >= 2 {
+			serialSeen = true
+		}
+	}
+	if !serialSeen {
+		t.Fatal("OLTP must emit serial descent blocks (chains=1)")
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on duplicate registration")
+		}
+	}()
+	register(Workload{name: "columnstore"})
+}
