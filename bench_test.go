@@ -9,6 +9,7 @@
 package repro_test
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/cache"
@@ -30,11 +31,11 @@ func benchScale() experiments.Scale {
 	return s
 }
 
-func runArtifact(b *testing.B, run func(*experiments.Suite) (experiments.Artifact, error)) {
+func runArtifact(b *testing.B, run func(*experiments.Suite, context.Context) (experiments.Artifact, error)) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
 		suite := experiments.NewSuite(benchScale())
-		art, err := run(suite)
+		art, err := run(suite, context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -2,21 +2,32 @@
 // machine, reports the measured counters the way perf tooling would, and
 // optionally runs the full §V.A scaling fit.
 //
+// Output goes through the engine's artifact pipeline: by default a
+// StreamSink prints the characterization table to stdout; with -out the
+// same artifact is written to a directory (txt + csv + manifest.json),
+// so tooling can diff characterization runs the same way it diffs
+// cmd/repro results.
+//
 // Usage:
 //
 //	characterize [-workload name] [-fit] [-ghz 2.5] [-grade 1867]
-//	             [-threads 0] [-instr 3000000]
+//	             [-instr 3000000] [-out dir]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/memsys"
 	"repro/internal/params"
 	"repro/internal/pmu"
+	"repro/internal/report"
 	"repro/internal/sim"
 	"repro/internal/workloads"
 )
@@ -30,6 +41,7 @@ func main() {
 		instr    = flag.Uint64("instr", 3_000_000, "measured instructions")
 		verbose  = flag.Bool("v", false, "print per-run measurements during fits")
 		counters = flag.Bool("counters", false, "dump the full counter set per run")
+		outDir   = flag.String("out", "", "also write the artifact (txt/csv + manifest.json) to this directory")
 	)
 	flag.Parse()
 
@@ -48,26 +60,74 @@ func main() {
 		list = workloads.All()
 	}
 
-	for _, w := range list {
-		if *fit {
-			runFit(w, scale, *verbose)
-			continue
-		}
-		sc := experiments.ScalingConfig{CoreGHz: *ghz, Grade: memsys.Grade(*grade)}
-		m, err := experiments.RunWorkload(w, sc, scale, false)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	art, err := characterize(ctx, list, scale, *fit, *ghz, *grade, *verbose, *counters)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "characterize: %v\n", err)
+		os.Exit(1)
+	}
+
+	sinks := []engine.Sink{&engine.StreamSink{W: os.Stdout, Verbose: true}}
+	if *outDir != "" {
+		ds, err := engine.NewDirSink(*outDir)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "characterize: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("%-16s %-10s thr=%2d  CPI=%.3f util=%.0f%%  MPKI=%.2f  MP=%.0fcy(%.0fns)  WBR=%.0f%%  BW=%.1fGB/s (util %.0f%%)  IO=%.2fGB/s pref=%d/%d late=%d\n",
-			w.Name(), w.Class(), m.Threads, m.CPI, m.Utilization*100, m.MPKI,
-			float64(m.MPCycles), m.MP.Nanoseconds(), m.WBR*100,
-			m.Bandwidth.GBps(), m.Utilization1*100, m.IOBandwidth.GBps(),
-			m.Cache.PrefHits, m.Cache.PrefIssued, m.Cache.PrefLate)
-		if *counters {
+		sinks = append(sinks, ds)
+	}
+	for _, s := range sinks {
+		if err := engine.WriteArtifact(s, "Workload characterization", art); err != nil {
+			fmt.Fprintf(os.Stderr, "characterize: %v\n", err)
+			os.Exit(1)
+		}
+		if err := s.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "characterize: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// characterize builds one artifact covering every requested workload:
+// either the measured counter table at a single operating point, or the
+// fitted Eq. 1 constants from the full scaling grid.
+func characterize(ctx context.Context, list []workloads.Workload, scale experiments.Scale, fit bool, ghz float64, grade int, verbose, counters bool) (experiments.Artifact, error) {
+	art := experiments.Artifact{ID: "characterize"}
+	if fit {
+		table := report.NewTable("Fitted scaling model (Eq. 1 constants)",
+			"workload", "class", "CPI_cache", "BF", "MPKI", "WBR", "R2", "max err", "paper CPI_cache/BF/MPKI/WBR")
+		for _, w := range list {
+			if err := runFit(ctx, table, w, scale, verbose); err != nil {
+				return experiments.Artifact{}, err
+			}
+		}
+		art.Tables = append(art.Tables, table)
+		return art, nil
+	}
+
+	table := report.NewTable(fmt.Sprintf("Measured counters at %.1f GHz / DDR3-%d", ghz, grade),
+		"workload", "class", "thr", "CPI", "util", "MPKI", "MP (cy)", "MP (ns)", "WBR", "BW (GB/s)", "chan util", "IO (GB/s)", "pref hit/issued/late")
+	for _, w := range list {
+		sc := experiments.ScalingConfig{CoreGHz: ghz, Grade: memsys.Grade(grade)}
+		m, err := experiments.RunWorkload(ctx, w, sc, scale, false)
+		if err != nil {
+			return experiments.Artifact{}, err
+		}
+		table.AddRow(w.Name(), fmt.Sprint(w.Class()), fmt.Sprint(m.Threads),
+			fmt.Sprintf("%.3f", m.CPI), fmt.Sprintf("%.0f%%", m.Utilization*100),
+			fmt.Sprintf("%.2f", m.MPKI), fmt.Sprintf("%.0f", float64(m.MPCycles)),
+			fmt.Sprintf("%.0f", m.MP.Nanoseconds()), fmt.Sprintf("%.0f%%", m.WBR*100),
+			fmt.Sprintf("%.1f", m.Bandwidth.GBps()), fmt.Sprintf("%.0f%%", m.Utilization1*100),
+			fmt.Sprintf("%.2f", m.IOBandwidth.GBps()),
+			fmt.Sprintf("%d/%d/%d", m.Cache.PrefHits, m.Cache.PrefIssued, m.Cache.PrefLate))
+		if counters {
 			fmt.Print(counterDump(m).Format())
 		}
 	}
+	art.Tables = append(art.Tables, table)
+	return art, nil
 }
 
 // counterDump flattens a measurement into the PMU-style named counter
@@ -103,11 +163,10 @@ func counterDump(m sim.Measurement) pmu.CounterSet {
 	return cs
 }
 
-func runFit(w workloads.Workload, scale experiments.Scale, verbose bool) {
-	fit, runs, err := experiments.FitWorkload(w, experiments.PaperScalingConfigs(), scale)
+func runFit(ctx context.Context, table *report.Table, w workloads.Workload, scale experiments.Scale, verbose bool) error {
+	fit, runs, err := experiments.FitWorkload(ctx, w, experiments.PaperScalingConfigs(), scale)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "characterize: %v\n", err)
-		os.Exit(1)
+		return err
 	}
 	if verbose {
 		for _, m := range runs {
@@ -116,10 +175,12 @@ func runFit(w workloads.Workload, scale experiments.Scale, verbose bool) {
 		}
 	}
 	p := fit.Params
-	line := fmt.Sprintf("%-16s CPI_cache=%.3f BF=%.3f MPKI=%.2f WBR=%.0f%% R2=%.3f maxErr=%.1f%%",
-		w.Name(), p.CPICache, p.BF, p.MPKI, p.WBR*100, fit.R2, fit.MaxAbsError()*100)
+	paper := "-"
 	if t, ok := params.ByWorkload(w.Name()); ok {
-		line += fmt.Sprintf("   [paper: %.2f/%.2f/%.1f/%.0f%%]", t.CPICache, t.BF, t.MPKI, t.WBR*100)
+		paper = fmt.Sprintf("%.2f/%.2f/%.1f/%.0f%%", t.CPICache, t.BF, t.MPKI, t.WBR*100)
 	}
-	fmt.Println(line)
+	table.AddRow(w.Name(), fmt.Sprint(w.Class()), fmt.Sprintf("%.3f", p.CPICache),
+		fmt.Sprintf("%.3f", p.BF), fmt.Sprintf("%.2f", p.MPKI), fmt.Sprintf("%.0f%%", p.WBR*100),
+		fmt.Sprintf("%.3f", fit.R2), fmt.Sprintf("%.1f%%", fit.MaxAbsError()*100), paper)
+	return nil
 }

@@ -18,9 +18,11 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/engine"
 	"repro/internal/model"
 	"repro/internal/params"
 	"repro/internal/queueing"
+	"repro/internal/report"
 	"repro/internal/units"
 )
 
@@ -71,15 +73,37 @@ func main() {
 		p.Name, p.CPICache, p.BF, p.MPKI, p.WBR*100)
 	fmt.Printf("platform: %dC/%dT @ %.1fGHz, %dch DDR-%d, peak %v, compulsory %v\n",
 		*cores, *threads, *ghz, *channels, *grade, peak, pl.Compulsory)
-	printOp("baseline", op, pl)
 
-	// What-ifs.
+	// The operating point and its what-ifs go out as an artifact table
+	// through the engine's stream sink — the same rendering cmd/repro's
+	// sensitivity experiments use.
+	table := report.NewTable("Operating point and what-ifs",
+		"scenario", "CPI", "ΔCPI", "MP (ns)", "queue (ns)", "demand", "util", "bound", "Ginstr/s")
+	addOp(table, "baseline", op, op, pl)
 	opLat, err := model.Evaluate(p, pl.WithCompulsory(pl.Compulsory+units.Duration(*dlat)))
 	check(err)
-	printDelta(fmt.Sprintf("+%gns latency", *dlat), op, opLat)
+	addOp(table, fmt.Sprintf("+%gns latency", *dlat), op, opLat, pl)
 	opBW, err := model.Evaluate(p, pl.WithPeakBW(pl.PeakBW-units.GBpsOf(*dbw*float64(*cores))))
 	check(err)
-	printDelta(fmt.Sprintf("-%gGB/s/core bandwidth", *dbw), op, opBW)
+	addOp(table, fmt.Sprintf("-%gGB/s/core bandwidth", *dbw), op, opBW, pl)
+
+	art := engine.Artifact{ID: "memmodel", Tables: []*report.Table{table}}
+	sink := &engine.StreamSink{W: os.Stdout, Verbose: true}
+	check(engine.WriteArtifact(sink, "Analytic model query", art))
+	check(sink.Close())
+}
+
+// addOp appends one evaluated scenario to the what-if table.
+func addOp(table *report.Table, label string, base, v model.OperatingPoint, pl model.Platform) {
+	bound := "latency-limited"
+	if v.BandwidthBound {
+		bound = "BANDWIDTH-BOUND"
+	}
+	table.AddRow(label, fmt.Sprintf("%.3f", v.CPI), fmt.Sprintf("%+.2f%%", (v.CPI/base.CPI-1)*100),
+		fmt.Sprintf("%.0f", v.MissPenalty.Nanoseconds()),
+		fmt.Sprintf("%.1f", v.QueueDelay.Nanoseconds()), v.Demand.String(),
+		fmt.Sprintf("%.0f%%", v.Utilization*100), bound,
+		fmt.Sprintf("%.2f", v.Throughput(pl)/1e9))
 }
 
 func classParams(name string, cpiCache, bf, mpki, wbr float64) (model.Params, error) {
@@ -100,21 +124,6 @@ func classParams(name string, cpiCache, bf, mpki, wbr float64) (model.Params, er
 
 func fromTarget(t params.Target) model.Params {
 	return model.Params{Name: t.Workload, CPICache: t.CPICache, BF: t.BF, MPKI: t.MPKI, WBR: t.WBR}
-}
-
-func printOp(label string, op model.OperatingPoint, pl model.Platform) {
-	bound := "latency-limited"
-	if op.BandwidthBound {
-		bound = "BANDWIDTH-BOUND"
-	}
-	fmt.Printf("%-24s CPI=%.3f  MP=%.0fns (%.0fcy, queue %.1fns)  demand=%v  util=%.0f%%  %s  throughput=%.2f Ginstr/s\n",
-		label, op.CPI, op.MissPenalty.Nanoseconds(), float64(op.MissPenaltyCyc),
-		op.QueueDelay.Nanoseconds(), op.Demand, op.Utilization*100, bound,
-		op.Throughput(pl)/1e9)
-}
-
-func printDelta(label string, base, v model.OperatingPoint) {
-	fmt.Printf("%-24s CPI=%.3f  (%+.2f%% vs baseline)\n", label, v.CPI, (v.CPI/base.CPI-1)*100)
 }
 
 func check(err error) {

@@ -13,7 +13,9 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/engine"
 	"repro/internal/memsys"
+	"repro/internal/report"
 	"repro/internal/units"
 	"repro/internal/workloads"
 )
@@ -51,23 +53,44 @@ func main() {
 	fmt.Printf("peak bandwidth: %v (%.0f%% efficiency, %.0f%% reads)\n",
 		peak, float64(peak)/float64(cfg.RawBandwidth())*100, readFrac*100)
 
-	run := func(rate units.BytesPerSecond) {
+	run := func(rate units.BytesPerSecond) workloads.MLCResult {
 		mlc := workloads.MLC{ReadFraction: readFrac, Rate: rate, Duration: dur, Seed: 0x31C}
 		res, err := mlc.Run(cfg)
 		check(err)
-		fmt.Printf("inject %8.2f GB/s -> achieved %8.2f GB/s  util %5.1f%%  latency %6.1f ns  queue %6.1f ns\n",
-			rate.GBps(), res.Achieved.GBps(), res.Utilization*100,
-			res.AvgLatency.Nanoseconds(), res.AvgQueue.Nanoseconds())
+		return res
 	}
 
 	switch {
 	case *sweep:
-		fmt.Println("\nloaded-latency sweep:")
+		// The sweep is emitted as an artifact (table + loaded-latency
+		// chart) through the engine's stream sink, the same pipeline
+		// cmd/repro uses for Fig. 7.
+		table := report.NewTable("Loaded-latency sweep",
+			"inject (GB/s)", "achieved (GB/s)", "util", "latency (ns)", "queue (ns)")
+		chart := report.NewChart("Loaded latency vs achieved bandwidth",
+			"achieved bandwidth (GB/s)", "latency (ns)")
+		var xs, ys []float64
 		for _, frac := range []float64{0.05, 0.15, 0.25, 0.35, 0.45, 0.55, 0.65, 0.75, 0.85, 0.9, 0.95, 1.0} {
-			run(peak * units.BytesPerSecond(frac))
+			rate := peak * units.BytesPerSecond(frac)
+			res := run(rate)
+			table.AddRow(fmt.Sprintf("%.2f", rate.GBps()), fmt.Sprintf("%.2f", res.Achieved.GBps()),
+				fmt.Sprintf("%.1f%%", res.Utilization*100),
+				fmt.Sprintf("%.1f", res.AvgLatency.Nanoseconds()),
+				fmt.Sprintf("%.1f", res.AvgQueue.Nanoseconds()))
+			xs = append(xs, res.Achieved.GBps())
+			ys = append(ys, res.AvgLatency.Nanoseconds())
 		}
+		check(chart.AddSeries(fmt.Sprintf("%.0f%% reads", readFrac*100), xs, ys))
+		art := engine.Artifact{ID: "mlc-sweep", Tables: []*report.Table{table}, Charts: []*report.Chart{chart}}
+		sink := &engine.StreamSink{W: os.Stdout, Verbose: true}
+		check(engine.WriteArtifact(sink, "MLC loaded-latency sweep", art))
+		check(sink.Close())
 	case *rateGBps > 0:
-		run(units.GBpsOf(*rateGBps))
+		rate := units.GBpsOf(*rateGBps)
+		res := run(rate)
+		fmt.Printf("inject %8.2f GB/s -> achieved %8.2f GB/s  util %5.1f%%  latency %6.1f ns  queue %6.1f ns\n",
+			rate.GBps(), res.Achieved.GBps(), res.Utilization*100,
+			res.AvgLatency.Nanoseconds(), res.AvgQueue.Nanoseconds())
 	}
 }
 

@@ -1,30 +1,46 @@
 // Command repro regenerates every table and figure of the paper's
 // evaluation (the per-experiment index is DESIGN.md §4) and writes the
-// rendered artifacts to a results directory.
+// rendered artifacts — plus a manifest.json with per-experiment timings
+// and content hashes — to a results directory.
+//
+// The run list comes from the experiment registry (internal/engine):
+// each experiment declares its dependencies (workload fits, the
+// calibrated queuing curve), and the engine schedules the resulting DAG
+// over a bounded worker pool, so independent experiments run in
+// parallel on top of the fit-level parallelism.
 //
 // Usage:
 //
 //	repro [-out results] [-quick] [-only fig7,table2,...]
+//	      [-workers N] [-timeout 30m] [-v]
+//	repro -list [-json]
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
+	"os/signal"
 	"runtime"
 	"strings"
-	"time"
+	"syscall"
 
+	"repro/internal/engine"
 	"repro/internal/experiments"
-	"repro/internal/workloads"
 )
 
 func main() {
 	var (
-		out   = flag.String("out", "results", "output directory")
-		quick = flag.Bool("quick", false, "use the fast (test-scale) configuration")
-		only  = flag.String("only", "", "comma-separated experiment ids to run (default: all)")
+		out     = flag.String("out", "results", "output directory")
+		quick   = flag.Bool("quick", false, "use the fast (test-scale) configuration")
+		only    = flag.String("only", "", "comma-separated experiment ids to run (default: all; see -list)")
+		list    = flag.Bool("list", false, "print the experiment registry and exit")
+		asJSON  = flag.Bool("json", false, "with -list, print the registry as JSON")
+		workers = flag.Int("workers", runtime.NumCPU(), "max experiments/fits in flight")
+		timeout = flag.Duration("timeout", 0, "overall run deadline (0 = none)")
+		verbose = flag.Bool("v", false, "echo each artifact's text to stdout")
 	)
 	flag.Parse()
 
@@ -33,110 +49,124 @@ func main() {
 		scale = experiments.Quick()
 	}
 	suite := experiments.NewSuite(scale)
+	reg := suite.Registry()
 
-	type exp struct {
-		id  string
-		run func() (experiments.Artifact, error)
-	}
-	all := []exp{
-		{"fig1", suite.Figure1},
-		{"fig2", suite.Figure2},
-		{"fig3", suite.Figure3},
-		{"table2", suite.Table2},
-		{"table3", suite.Table3},
-		{"fig4", suite.Figure4},
-		{"fig5", suite.Figure5},
-		{"table4", suite.Table4},
-		{"table5", suite.Table5},
-		{"table6", suite.Table6},
-		{"fig6", suite.Figure6},
-		{"fig7", suite.Figure7},
-		{"efficiency", suite.EfficiencyTable},
-		{"fig8", suite.Figure8},
-		{"fig9", suite.Figure9},
-		{"fig10", suite.Figure10},
-		{"fig11", suite.Figure11},
-		{"table7", suite.Table7},
-		{"tiered", suite.TieredMemory},
-		{"future-memory", suite.FutureMemory},
-		{"numa", suite.NUMAStudy},
-		{"prefetch-ablation", suite.PrefetchAblation},
-		{"prefetch-depth", suite.PrefetchDepthSweep},
-		{"queue-ablation", suite.QueueCurveAblation},
-		{"grades-hpc", func() (experiments.Artifact, error) { return suite.GradeSweep("bwaves") }},
+	if *list {
+		printList(reg, *asJSON)
+		return
 	}
 
-	want := map[string]bool{}
+	var ids []string
 	if *only != "" {
-		for _, id := range strings.Split(*only, ",") {
-			want[strings.TrimSpace(id)] = true
-		}
+		ids = strings.Split(*only, ",")
+	}
+	// Validate the selection up front so a typo fails fast, before any
+	// simulation work starts.
+	if _, err := reg.Resolve(ids); err != nil {
+		fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+		os.Exit(2)
 	}
 
-	if err := os.MkdirAll(*out, 0o755); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	sink, err := engine.NewDirSink(*out)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "repro: %v\n", err)
 		os.Exit(1)
 	}
 
-	// When the run needs the full fit suite, compute the fits in
-	// parallel up front; every experiment then hits the cache.
-	if len(want) == 0 {
-		start := time.Now()
-		if err := suite.Prefit(workloads.Names(), runtime.NumCPU()); err != nil {
+	failures := 0
+	rr, err := engine.Run(ctx, reg, ids, engine.Options{
+		Workers: *workers,
+		OnResource: func(res engine.ResourceResult) {
+			if res.Err != nil {
+				fmt.Fprintf(os.Stderr, "repro: %s: %v\n", res.Name, res.Err)
+				return
+			}
+			fmt.Printf("dep  %-20s ok  (%.1fs)\n", res.Name, res.Wall.Seconds())
+		},
+		OnResult: func(res engine.ExperimentResult) {
+			if res.Err != nil {
+				fmt.Fprintf(os.Stderr, "repro: %s: %v\n", res.ID, res.Err)
+				failures++
+			} else {
+				fmt.Printf("%-18s ok  (%.1fs, fit cache %d hit / %d miss)\n",
+					res.ID, res.Wall.Seconds(), res.FitCacheHits, res.FitCacheMisses)
+				if *verbose {
+					fmt.Print(res.Artifact.Text())
+				}
+			}
+			// Failed results go to the sink too: the manifest records the
+			// error so a drifted or broken run is visible in results/.
+			if err := sink.Write(res); err != nil {
+				fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+				failures++
+			}
+		},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+		os.Exit(1)
+	}
+	sink.RecordRun(rr, *workers)
+	if err := sink.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%d experiments in %.1fs (%d workers, peak parallelism %d) -> %s/manifest.json\n",
+		len(rr.Experiments), rr.Wall.Seconds(), *workers, rr.MaxParallel, *out)
+	if failures > 0 || rr.Failed() > 0 {
+		os.Exit(1)
+	}
+}
+
+// printList renders the registry: the ids accepted by -only, with paper
+// references and declared dependencies.
+func printList(reg *engine.Registry, asJSON bool) {
+	exps := reg.Experiments()
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(exps); err != nil {
 			fmt.Fprintf(os.Stderr, "repro: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("prefit: %d workloads fitted in %.1fs on %d cores\n",
-			len(workloads.Names()), time.Since(start).Seconds(), runtime.NumCPU())
+		return
 	}
+	for _, e := range exps {
+		deps := "-"
+		if len(e.Deps) > 0 {
+			deps = summarizeDeps(e.Deps)
+		}
+		fmt.Printf("%-18s %-18s %-28s %s\n", e.ID, e.Section, deps, e.Title)
+	}
+	fmt.Printf("\n%d experiments; run a subset with -only id1,id2,...\n", len(exps))
+}
 
-	failures := 0
-	var index strings.Builder
-	index.WriteString("# results index\n\nGenerated by `go run ./cmd/repro`. One .txt per experiment\n(DESIGN.md section 4), with .csv per table and .svg per chart.\n\n")
-	for _, e := range all {
-		if len(want) > 0 && !want[e.id] {
-			continue
+// summarizeDeps compresses long fit lists ("fit:a fit:b ... (12 fits)").
+func summarizeDeps(deps []string) string {
+	var fitNames []string
+	var other []string
+	for _, d := range deps {
+		if name, ok := strings.CutPrefix(d, "fit:"); ok {
+			fitNames = append(fitNames, name)
+		} else {
+			other = append(other, d)
 		}
-		start := time.Now()
-		art, err := e.run()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "repro: %s: %v\n", e.id, err)
-			failures++
-			continue
-		}
-		text := art.Text()
-		path := filepath.Join(*out, e.id+".txt")
-		if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "repro: write %s: %v\n", path, err)
-			failures++
-			continue
-		}
-		// CSVs for every table and SVGs for every chart, for papers
-		// and downstream plotting.
-		for i, t := range art.Tables {
-			csvPath := filepath.Join(*out, fmt.Sprintf("%s_%d.csv", e.id, i))
-			if err := os.WriteFile(csvPath, []byte(t.CSV()), 0o644); err != nil {
-				fmt.Fprintf(os.Stderr, "repro: write %s: %v\n", csvPath, err)
-			}
-		}
-		for i, ch := range art.Charts {
-			svgPath := filepath.Join(*out, fmt.Sprintf("%s_%d.svg", e.id, i))
-			if err := os.WriteFile(svgPath, []byte(ch.SVG()), 0o644); err != nil {
-				fmt.Fprintf(os.Stderr, "repro: write %s: %v\n", svgPath, err)
-			}
-		}
-		fmt.Printf("%-18s ok  (%.1fs)  -> %s\n", e.id, time.Since(start).Seconds(), path)
-		fmt.Print(text)
-		title := e.id
-		if len(art.Tables) > 0 && art.Tables[0].Title != "" {
-			title = art.Tables[0].Title
-		}
-		fmt.Fprintf(&index, "- [%s](%s.txt) — %s\n", e.id, e.id, title)
 	}
-	if err := os.WriteFile(filepath.Join(*out, "README.md"), []byte(index.String()), 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "repro: write index: %v\n", err)
+	var parts []string
+	switch {
+	case len(fitNames) > 4:
+		parts = append(parts, fmt.Sprintf("fits(%d workloads)", len(fitNames)))
+	case len(fitNames) > 0:
+		parts = append(parts, "fit:"+strings.Join(fitNames, ","))
 	}
-	if failures > 0 {
-		os.Exit(1)
-	}
+	parts = append(parts, other...)
+	return strings.Join(parts, " ")
 }

@@ -15,11 +15,14 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 	"sort"
 
+	"repro/internal/engine"
 	"repro/internal/model"
 	"repro/internal/params"
 	"repro/internal/queueing"
+	"repro/internal/report"
 	"repro/internal/units"
 )
 
@@ -83,14 +86,24 @@ func main() {
 	}
 
 	sort.Slice(results, func(i, j int) bool { return results[i].valuePerCost > results[j].valuePerCost })
-	fmt.Printf("%-28s %10s %10s %10s %12s %8s %10s\n",
-		"configuration", "BigData", "Enterprise", "HPC", "fleet Gi/s", "cost", "value/cost")
+	table := report.NewTable("Fleet-weighted throughput per candidate (ranked by value/cost)",
+		"configuration", "BigData Gi/s", "Enterprise Gi/s", "HPC Gi/s", "fleet Gi/s", "cost", "value/cost")
 	for _, r := range results {
-		fmt.Printf("%-28s %10.2f %10.2f %10.2f %12.2f %8.2f %10.2f\n",
-			r.name, r.perClass["Big Data"], r.perClass["Enterprise"], r.perClass["HPC"],
-			r.fleetThroughput, r.costUnits, r.valuePerCost)
+		table.AddRow(r.name,
+			fmt.Sprintf("%.2f", r.perClass["Big Data"]), fmt.Sprintf("%.2f", r.perClass["Enterprise"]),
+			fmt.Sprintf("%.2f", r.perClass["HPC"]), fmt.Sprintf("%.2f", r.fleetThroughput),
+			fmt.Sprintf("%.2f", r.costUnits), fmt.Sprintf("%.2f", r.valuePerCost))
 	}
-	fmt.Println("\nNote how the HPC column collapses on the 2-channel part (bandwidth bound)")
-	fmt.Println("while Enterprise barely moves — and the low-latency part helps Enterprise")
-	fmt.Println("and Big Data but does nothing for HPC. That is Fig. 8/10 and Table 7.")
+	table.AddNote("The HPC column collapses on the 2-channel part (bandwidth bound) while")
+	table.AddNote("Enterprise barely moves — and the low-latency part helps Enterprise and")
+	table.AddNote("Big Data but does nothing for HPC. That is Fig. 8/10 and Table 7.")
+
+	art := engine.Artifact{ID: "capacity-planning", Tables: []*report.Table{table}}
+	sink := &engine.StreamSink{W: os.Stdout, Verbose: true}
+	if err := engine.WriteArtifact(sink, "Capacity planning (§VI.D as procurement)", art); err != nil {
+		log.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -13,10 +13,13 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 
+	"repro/internal/engine"
 	"repro/internal/model"
 	"repro/internal/params"
 	"repro/internal/queueing"
+	"repro/internal/report"
 	"repro/internal/units"
 )
 
@@ -30,7 +33,8 @@ func main() {
 
 	const budget = 0.10 // acceptable CPI regression vs all-DRAM
 
-	fmt.Printf("%-12s %-14s %-30s %s\n", "class", "all-DRAM CPI", "hit rate for <=10% regression", "CPI at 50% hit rate")
+	table := report.NewTable("DRAM-tier hit rate needed to stay within budget (Eq. 5)",
+		"class", "all-DRAM CPI", "hit rate for <=10% regression", "CPI at 50% hit rate")
 	for _, t := range params.Table6 {
 		p := model.Params{Name: t.Workload, CPICache: t.CPICache, BF: t.BF, MPKI: t.MPKI, WBR: t.WBR}
 		baseOp, err := model.Evaluate(p, base)
@@ -73,8 +77,18 @@ func main() {
 			}
 			breakEven = fmt.Sprintf("%.0f%%", hi*100)
 		}
-		fmt.Printf("%-12s %-14.3f %-30s %.3f\n", t.Workload, baseOp.CPI, breakEven, tieredCPI(0.5))
+		table.AddRow(t.Workload, fmt.Sprintf("%.3f", baseOp.CPI), breakEven,
+			fmt.Sprintf("%.3f", tieredCPI(0.5)))
 	}
-	fmt.Println("\nLatency-sensitive classes (Enterprise) need high DRAM hit rates; the")
-	fmt.Println("bandwidth-bound HPC class can even *gain* from the extra tier's channels.")
+	table.AddNote("Latency-sensitive classes (Enterprise) need high DRAM hit rates; the")
+	table.AddNote("bandwidth-bound HPC class can even *gain* from the extra tier's channels.")
+
+	art := engine.Artifact{ID: "tiered-memory", Tables: []*report.Table{table}}
+	sink := &engine.StreamSink{W: os.Stdout, Verbose: true}
+	if err := engine.WriteArtifact(sink, "Tiered-memory break-even (§VII / Eq. 5)", art); err != nil {
+		log.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		log.Fatal(err)
+	}
 }

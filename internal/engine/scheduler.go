@@ -1,0 +1,283 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Options configures a scheduler run.
+type Options struct {
+	// Workers bounds how many nodes (experiments or resources) run at
+	// once; <= 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// OnResult, if set, is called as each experiment finishes. Calls are
+	// serialized; completion order is nondeterministic under concurrency.
+	OnResult func(ExperimentResult)
+	// OnResource, if set, is called as each resource finishes (serialized
+	// with OnResult).
+	OnResource func(ResourceResult)
+}
+
+// ExperimentResult is the outcome of one scheduled experiment.
+type ExperimentResult struct {
+	Experiment
+	Index    int // position in registration order, for stable presentation
+	Artifact Artifact
+	Err      error
+	Wall     time.Duration
+	// FitCacheHits/Misses count Suite fit-cache lookups made while this
+	// experiment ran (recorded via RecordFitCacheHit/Miss).
+	FitCacheHits   int64
+	FitCacheMisses int64
+}
+
+// ResourceResult is the outcome of one prepared resource node.
+type ResourceResult struct {
+	Name string
+	Err  error
+	Wall time.Duration
+}
+
+// RunResult aggregates a whole scheduler run.
+type RunResult struct {
+	Experiments []ExperimentResult // registration order
+	Resources   []ResourceResult   // completion order
+	Wall        time.Duration
+	MaxParallel int // high-water mark of concurrently executing nodes
+}
+
+// Failed counts experiments that ended in error.
+func (rr RunResult) Failed() int {
+	n := 0
+	for _, r := range rr.Experiments {
+		if r.Err != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Metrics accumulates fit-cache counters for one scheduled experiment.
+// The scheduler plants a Metrics in each experiment's context; the
+// experiment layer reports into it via RecordFitCacheHit/Miss.
+type Metrics struct {
+	hits, misses atomic.Int64
+}
+
+type metricsKey struct{}
+
+// WithMetrics returns a context carrying a fresh Metrics recorder.
+func WithMetrics(ctx context.Context) (context.Context, *Metrics) {
+	m := &Metrics{}
+	return context.WithValue(ctx, metricsKey{}, m), m
+}
+
+// RecordFitCacheHit notes a fit served from cache. No-op when the
+// context carries no recorder.
+func RecordFitCacheHit(ctx context.Context) {
+	if m, _ := ctx.Value(metricsKey{}).(*Metrics); m != nil {
+		m.hits.Add(1)
+	}
+}
+
+// RecordFitCacheMiss notes a fit computed from scratch.
+func RecordFitCacheMiss(ctx context.Context) {
+	if m, _ := ctx.Value(metricsKey{}).(*Metrics); m != nil {
+		m.misses.Add(1)
+	}
+}
+
+// node is one DAG vertex: an experiment or a resource.
+type node struct {
+	name       string
+	exp        *Experiment // nil for resources
+	index      int         // experiment registration index
+	res        *Resource
+	waiting    int // unfinished dependencies
+	dependents []*node
+	depErr     error // first failed dependency's error, if any
+}
+
+// Run schedules the selected experiments (nil/empty ids = the whole
+// catalog) and their dependency closure over a bounded worker pool.
+// Resources run before the experiments that declared them; independent
+// nodes run concurrently. Cancelling ctx stops new nodes from starting
+// and makes in-flight suite work return early; cancelled nodes report
+// ctx's error. The returned error covers setup problems (unknown ids,
+// invalid registry) only — per-experiment failures are in the results.
+func Run(ctx context.Context, reg *Registry, ids []string, opts Options) (RunResult, error) {
+	exps, err := reg.Resolve(ids)
+	if err != nil {
+		return RunResult{}, err
+	}
+	if err := reg.Validate(); err != nil {
+		return RunResult{}, err
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	// Build the DAG: the selected experiments plus the dependency closure
+	// of their declared resources.
+	index := map[string]int{}
+	for i, id := range reg.IDs() {
+		index[id] = i
+	}
+	nodes := map[string]*node{}
+	var resNodes []*node // discovery order, for deterministic seeding
+	var addResource func(name string) *node
+	addResource = func(name string) *node {
+		if n, ok := nodes["res:"+name]; ok {
+			return n
+		}
+		res, _ := reg.Resource(name) // Validate guarantees presence
+		n := &node{name: name, res: &res}
+		nodes["res:"+name] = n
+		resNodes = append(resNodes, n)
+		for _, d := range res.Deps {
+			dep := addResource(d)
+			dep.dependents = append(dep.dependents, n)
+			n.waiting++
+		}
+		return n
+	}
+	var expNodes []*node
+	for i := range exps {
+		e := &exps[i]
+		n := &node{name: e.ID, exp: e, index: index[e.ID]}
+		for _, d := range e.Deps {
+			dep := addResource(d)
+			dep.dependents = append(dep.dependents, n)
+			n.waiting++
+		}
+		nodes[e.ID] = n
+		expNodes = append(expNodes, n)
+	}
+
+	total := len(nodes)
+	ready := make(chan *node, total)
+	var (
+		mu        sync.Mutex // guards waiting/depErr/remaining/running stats
+		remaining = total
+		running   int
+		maxPar    int
+		cbMu      sync.Mutex // serializes OnResult/OnResource
+		resMu     sync.Mutex
+	)
+	rr := RunResult{Experiments: make([]ExperimentResult, len(expNodes))}
+	// Seed deterministically: resources first (fits and calibrations are
+	// the long poles, so they should claim workers early), then the
+	// dependency-free experiments in registration order.
+	for _, n := range resNodes {
+		if n.waiting == 0 {
+			ready <- n
+		}
+	}
+	for _, n := range expNodes {
+		if n.waiting == 0 {
+			ready <- n
+		}
+	}
+
+	start := time.Now()
+	finish := func(n *node, failed error) {
+		mu.Lock()
+		for _, d := range n.dependents {
+			if failed != nil && d.depErr == nil {
+				d.depErr = fmt.Errorf("dependency %s: %w", n.name, failed)
+			}
+			d.waiting--
+			if d.waiting == 0 {
+				ready <- d
+			}
+		}
+		remaining--
+		if remaining == 0 {
+			close(ready)
+		}
+		mu.Unlock()
+	}
+
+	execute := func(n *node) {
+		mu.Lock()
+		running++
+		if running > maxPar {
+			maxPar = running
+		}
+		mu.Unlock()
+		defer func() {
+			mu.Lock()
+			running--
+			mu.Unlock()
+		}()
+
+		nodeErr := n.depErr
+		if nodeErr == nil {
+			nodeErr = ctx.Err()
+		}
+		t0 := time.Now()
+		if n.res != nil {
+			if nodeErr == nil {
+				nodeErr = n.res.Prepare(ctx)
+			}
+			res := ResourceResult{Name: n.name, Err: nodeErr, Wall: time.Since(t0)}
+			resMu.Lock()
+			rr.Resources = append(rr.Resources, res)
+			resMu.Unlock()
+			if opts.OnResource != nil {
+				cbMu.Lock()
+				opts.OnResource(res)
+				cbMu.Unlock()
+			}
+			finish(n, nodeErr)
+			return
+		}
+
+		result := ExperimentResult{Experiment: *n.exp, Index: n.index}
+		if nodeErr == nil {
+			mctx, m := WithMetrics(ctx)
+			result.Artifact, result.Err = n.exp.Run(mctx)
+			result.FitCacheHits = m.hits.Load()
+			result.FitCacheMisses = m.misses.Load()
+		} else {
+			result.Err = nodeErr
+		}
+		result.Wall = time.Since(t0)
+		// Slot keyed by position among the *selected* experiments so the
+		// output order is stable regardless of completion order.
+		for i := range expNodes {
+			if expNodes[i] == n {
+				rr.Experiments[i] = result
+				break
+			}
+		}
+		if opts.OnResult != nil {
+			cbMu.Lock()
+			opts.OnResult(result)
+			cbMu.Unlock()
+		}
+		finish(n, result.Err)
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := range ready {
+				execute(n)
+			}
+		}()
+	}
+	wg.Wait()
+	rr.Wall = time.Since(start)
+	mu.Lock()
+	rr.MaxParallel = maxPar
+	mu.Unlock()
+	return rr, nil
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -14,7 +15,7 @@ func TestFigure2BigDataPanels(t *testing.T) {
 	if testing.Short() {
 		t.Skip("time-series runs")
 	}
-	a, err := testSuite().Figure2()
+	a, err := testSuite().Figure2(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,14 +56,14 @@ func TestFigure4And5Panels(t *testing.T) {
 	if testing.Short() {
 		t.Skip("time-series runs")
 	}
-	a4, err := testSuite().Figure4()
+	a4, err := testSuite().Figure4(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(a4.Tables[0].Rows()) != 4 {
 		t.Fatal("fig4 wants 4 enterprise workloads")
 	}
-	a5, err := testSuite().Figure5()
+	a5, err := testSuite().Figure5(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +76,7 @@ func TestFigure3Artifact(t *testing.T) {
 	if testing.Short() {
 		t.Skip("scaling fits")
 	}
-	a, err := testSuite().Figure3()
+	a, err := testSuite().Figure3(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,8 +104,8 @@ func TestTables245Artifacts(t *testing.T) {
 		t.Skip("scaling fits for 12 workloads")
 	}
 	s := testSuite()
-	for _, run := range []func() (Artifact, error){s.Table2, s.Table4, s.Table5} {
-		a, err := run()
+	for _, run := range []func(context.Context) (Artifact, error){s.Table2, s.Table4, s.Table5} {
+		a, err := run(bg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -125,7 +126,7 @@ func TestTable6FittedMeansNearPaper(t *testing.T) {
 	if testing.Short() {
 		t.Skip("scaling fits for 12 workloads")
 	}
-	a, err := testSuite().Table6()
+	a, err := testSuite().Table6(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +150,7 @@ func TestFigure6Artifact(t *testing.T) {
 	if testing.Short() {
 		t.Skip("scaling fits for all workloads")
 	}
-	a, err := testSuite().Figure6()
+	a, err := testSuite().Figure6(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +171,7 @@ func TestFigure6Artifact(t *testing.T) {
 }
 
 func TestNUMAStudyArtifact(t *testing.T) {
-	a, err := testSuite().NUMAStudy()
+	a, err := testSuite().NUMAStudy(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,7 +195,7 @@ func TestPrefetchDepthSweepArtifact(t *testing.T) {
 	if testing.Short() {
 		t.Skip("five scaling fits")
 	}
-	a, err := testSuite().PrefetchDepthSweep()
+	a, err := testSuite().PrefetchDepthSweep(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,7 +215,7 @@ func TestPrefetchAblationArtifact(t *testing.T) {
 	if testing.Short() {
 		t.Skip("re-fits with prefetcher disabled")
 	}
-	a, err := testSuite().PrefetchAblation()
+	a, err := testSuite().PrefetchAblation(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,7 +235,7 @@ func TestGradeSweepArtifact(t *testing.T) {
 	if testing.Short() {
 		t.Skip("four measured runs")
 	}
-	a, err := testSuite().GradeSweep("bwaves")
+	a, err := testSuite().GradeSweep(bg, "bwaves")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -248,13 +249,13 @@ func TestGradeSweepArtifact(t *testing.T) {
 	if cpiFast >= cpiSlow {
 		t.Fatalf("DDR3-1867 CPI (%v) must beat DDR3-1067 (%v)", cpiFast, cpiSlow)
 	}
-	if _, err := testSuite().GradeSweep("nope"); err == nil {
+	if _, err := testSuite().GradeSweep(bg, "nope"); err == nil {
 		t.Fatal("want error for unknown workload")
 	}
 }
 
 func TestFigure9Artifact(t *testing.T) {
-	a, err := testSuite().Figure9()
+	a, err := testSuite().Figure9(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -265,7 +266,7 @@ func TestFigure9Artifact(t *testing.T) {
 }
 
 func TestFigure10Artifact(t *testing.T) {
-	a, err := testSuite().Figure10()
+	a, err := testSuite().Figure10(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -275,7 +276,7 @@ func TestFigure10Artifact(t *testing.T) {
 }
 
 func TestFigure11Artifact(t *testing.T) {
-	a, err := testSuite().Figure11()
+	a, err := testSuite().Figure11(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -288,7 +289,7 @@ func TestFigure11Artifact(t *testing.T) {
 }
 
 func TestFigure7Artifact(t *testing.T) {
-	a, err := testSuite().Figure7()
+	a, err := testSuite().Figure7(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -302,7 +303,7 @@ func TestFigure7Artifact(t *testing.T) {
 }
 
 func TestArtifactText(t *testing.T) {
-	a, err := testSuite().Figure1()
+	a, err := testSuite().Figure1(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -313,7 +314,7 @@ func TestArtifactText(t *testing.T) {
 }
 
 func TestFutureMemoryArtifact(t *testing.T) {
-	a, err := testSuite().FutureMemory()
+	a, err := testSuite().FutureMemory(bg)
 	if err != nil {
 		t.Fatal(err)
 	}

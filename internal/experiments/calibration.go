@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/memsys"
@@ -48,7 +49,7 @@ type Fig7Curve struct {
 // ladder of target rates, record achieved bandwidth and latency, subtract
 // the minimum observed latency (the compulsory latency), and normalize
 // bandwidth to the case's saturated maximum.
-func SweepCombo(combo Fig7Combo, scale Scale, seed uint64) (Fig7Curve, error) {
+func SweepCombo(ctx context.Context, combo Fig7Combo, scale Scale, seed uint64) (Fig7Curve, error) {
 	cfg := memsysConfigFor(combo.Grade)
 	maxBW, err := workloads.MaxBandwidth(cfg, combo.ReadFraction, seed)
 	if err != nil {
@@ -59,6 +60,9 @@ func SweepCombo(combo Fig7Combo, scale Scale, seed uint64) (Fig7Curve, error) {
 	out := Fig7Curve{Combo: combo, MaxBW: maxBW}
 	minLat := units.Duration(0)
 	for i, frac := range fractions {
+		if err := ctx.Err(); err != nil {
+			return Fig7Curve{}, err
+		}
 		mlc := workloads.MLC{
 			ReadFraction: combo.ReadFraction,
 			Rate:         maxBW * units.BytesPerSecond(frac),
@@ -102,11 +106,11 @@ func SweepCombo(combo Fig7Combo, scale Scale, seed uint64) (Fig7Curve, error) {
 // CalibrateQueueCurve runs the four-combo sweep and returns the composite
 // (averaged) curve plus the baseline-grade efficiency measured from the
 // 100%-read DDR3-1867 case.
-func CalibrateQueueCurve(scale Scale) (queueing.Curve, float64, error) {
+func CalibrateQueueCurve(ctx context.Context, scale Scale) (queueing.Curve, float64, error) {
 	var curves []queueing.Curve
 	eff := 0.0
 	for i, combo := range PaperFig7Combos() {
-		c, err := SweepCombo(combo, scale, 0xF16+uint64(i)*131)
+		c, err := SweepCombo(ctx, combo, scale, 0xF16+uint64(i)*131)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -125,14 +129,14 @@ func CalibrateQueueCurve(scale Scale) (queueing.Curve, float64, error) {
 
 // Figure7 reproduces Fig. 7: queuing delay vs bandwidth utilization for
 // the four combos plus the composite model curve.
-func (s *Suite) Figure7() (Artifact, error) {
+func (s *Suite) Figure7(ctx context.Context) (Artifact, error) {
 	chart := report.NewChart("Figure 7: memory channel queuing delay vs bandwidth utilization",
 		"bandwidth utilization", "queuing delay (ns)")
 	table := report.NewTable("Figure 7 data", "case", "utilization", "queue delay (ns)", "loaded latency (ns)", "bandwidth")
 
 	var curves []queueing.Curve
 	for i, combo := range PaperFig7Combos() {
-		c, err := SweepCombo(combo, s.Scale, 0xF16+uint64(i)*131)
+		c, err := SweepCombo(ctx, combo, s.Scale, 0xF16+uint64(i)*131)
 		if err != nil {
 			return Artifact{}, err
 		}

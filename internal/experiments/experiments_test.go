@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -25,6 +26,8 @@ func fmtSscanf(s string, v *float64) (int, error) {
 	return fmt.Sscanf(s, "%f%%", v)
 }
 
+var bg = context.Background()
+
 // sharedSuite caches fits across tests (fits are the expensive part).
 var (
 	suiteOnce sync.Once
@@ -37,7 +40,7 @@ func testSuite() *Suite {
 }
 
 func TestFigure1(t *testing.T) {
-	a, err := testSuite().Figure1()
+	a, err := testSuite().Figure1(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +56,7 @@ func TestFigure1(t *testing.T) {
 }
 
 func TestFigure7CurveShape(t *testing.T) {
-	curve, eff, err := CalibrateQueueCurve(Quick())
+	curve, eff, err := CalibrateQueueCurve(bg, Quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +87,7 @@ func TestFigure7CurveShape(t *testing.T) {
 }
 
 func TestSweepComboSubtractsCompulsory(t *testing.T) {
-	c, err := SweepCombo(Fig7Combo{Grade: memsys.DDR3_1867, ReadFraction: 1}, Quick(), 1)
+	c, err := SweepCombo(bg, Fig7Combo{Grade: memsys.DDR3_1867, ReadFraction: 1}, Quick(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +104,7 @@ func TestSweepComboSubtractsCompulsory(t *testing.T) {
 }
 
 func TestFigure8Headlines(t *testing.T) {
-	a, err := testSuite().Figure8()
+	a, err := testSuite().Figure8(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,11 +119,11 @@ func TestFigure8Headlines(t *testing.T) {
 
 func TestFigure10And11Headlines(t *testing.T) {
 	s := testSuite()
-	base, err := s.BaselinePlatform()
+	base, err := s.BaselinePlatform(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	classes, err := s.ClassParams(false)
+	classes, err := s.ClassParams(bg, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +153,7 @@ func TestFigure10And11Headlines(t *testing.T) {
 }
 
 func TestTable7HPCBenefit(t *testing.T) {
-	a, err := testSuite().Table7()
+	a, err := testSuite().Table7(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +184,7 @@ func TestTable7HPCBenefit(t *testing.T) {
 }
 
 func TestTieredMemoryArtifact(t *testing.T) {
-	a, err := testSuite().TieredMemory()
+	a, err := testSuite().TieredMemory(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +199,7 @@ func TestTieredMemoryArtifact(t *testing.T) {
 }
 
 func TestQueueCurveAblation(t *testing.T) {
-	a, err := testSuite().QueueCurveAblation()
+	a, err := testSuite().QueueCurveAblation(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,7 +209,7 @@ func TestQueueCurveAblation(t *testing.T) {
 }
 
 func TestEfficiencyTable(t *testing.T) {
-	a, err := testSuite().EfficiencyTable()
+	a, err := testSuite().EfficiencyTable(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,7 +224,7 @@ func TestColumnstoreFitMatchesPaper(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full scaling fit")
 	}
-	fit, err := testSuite().Fit("columnstore")
+	fit, err := testSuite().Fit(bg, "columnstore")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -251,7 +254,7 @@ func TestHPCFitIsBandwidthHungryAndLatencyInsensitive(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full scaling fit")
 	}
-	fit, err := testSuite().Fit("bwaves")
+	fit, err := testSuite().Fit(bg, "bwaves")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -268,18 +271,18 @@ func TestSuiteCachesFits(t *testing.T) {
 		t.Skip("full scaling fit")
 	}
 	s := testSuite()
-	a, err := s.Fit("columnstore")
+	a, err := s.Fit(bg, "columnstore")
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := s.Fit("columnstore")
+	b, err := s.Fit(bg, "columnstore")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if a.R2 != b.R2 || a.Params != b.Params {
 		t.Fatal("cached fit must be identical")
 	}
-	runs, err := s.FitRuns("columnstore")
+	runs, err := s.FitRuns(bg, "columnstore")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -293,7 +296,7 @@ func TestTimeSeriesExperiment(t *testing.T) {
 	// would be identical machinery; use the cheap micro workload).
 	s := NewSuite(Scale{WarmupInstr: 2_000_000, MeasureInstr: 2_000_000,
 		SampleInterval: Quick().SampleInterval, MLCDuration: Quick().MLCDuration})
-	a, err := s.timeSeries([]string{"raytrace"}, "figX", "test")
+	a, err := s.timeSeries(bg, []string{"raytrace"}, "figX", "test")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -311,7 +314,7 @@ func TestRunWorkloadRespectsScalingConfig(t *testing.T) {
 		t.Fatal(err)
 	}
 	scale := Scale{WarmupInstr: 1_000_000, MeasureInstr: 1_000_000}
-	m21, err := RunWorkload(w, ScalingConfig{CoreGHz: 2.1, Grade: memsys.DDR3_1867}, scale, false)
+	m21, err := RunWorkload(bg, w, ScalingConfig{CoreGHz: 2.1, Grade: memsys.DDR3_1867}, scale, false)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/model"
@@ -13,12 +14,12 @@ import (
 // system with a fast DRAM cache in front of a larger, slower
 // emerging-memory pool, evaluated across DRAM-tier hit fractions for each
 // workload class.
-func (s *Suite) TieredMemory() (Artifact, error) {
-	base, err := s.BaselinePlatform()
+func (s *Suite) TieredMemory(ctx context.Context) (Artifact, error) {
+	base, err := s.BaselinePlatform(ctx)
 	if err != nil {
 		return Artifact{}, err
 	}
-	classes, err := s.ClassParams(false)
+	classes, err := s.ClassParams(ctx, false)
 	if err != nil {
 		return Artifact{}, err
 	}
@@ -88,15 +89,15 @@ func (s *Suite) TieredMemory() (Artifact, error) {
 // effectiveness shows up as blocking factor: it re-fits a scan-heavy and
 // a pointer-heavy workload with the hardware prefetcher disabled and
 // compares the fitted BF against the prefetch-on fit.
-func (s *Suite) PrefetchAblation() (Artifact, error) {
+func (s *Suite) PrefetchAblation(ctx context.Context) (Artifact, error) {
 	table := report.NewTable("§VII ablation: prefetcher effect on fitted blocking factor",
 		"workload", "BF (prefetch on)", "MPKI (on)", "BF (prefetch off)", "MPKI (off)")
 	for _, name := range []string{"columnstore", "bwaves", "oltp"} {
-		on, err := s.Fit(name)
+		on, err := s.Fit(ctx, name)
 		if err != nil {
 			return Artifact{}, err
 		}
-		off, err := fitWithoutPrefetch(name, s.Scale)
+		off, err := fitWithoutPrefetch(ctx, name, s.Scale)
 		if err != nil {
 			return Artifact{}, err
 		}
@@ -108,12 +109,12 @@ func (s *Suite) PrefetchAblation() (Artifact, error) {
 
 // QueueCurveAblation compares the measured composite queuing curve with
 // the analytic M/M/1 alternative across the §VI.C studies (DESIGN.md §5).
-func (s *Suite) QueueCurveAblation() (Artifact, error) {
-	classes, err := s.ClassParams(false)
+func (s *Suite) QueueCurveAblation(ctx context.Context) (Artifact, error) {
+	classes, err := s.ClassParams(ctx, false)
 	if err != nil {
 		return Artifact{}, err
 	}
-	measured, err := s.BaselinePlatform()
+	measured, err := s.BaselinePlatform(ctx)
 	if err != nil {
 		return Artifact{}, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/memsys"
@@ -13,12 +14,12 @@ import (
 // NUMAStudy exercises the §VIII multi-socket extension: each workload
 // class on the dual-socket baseline across NUMA locality mixes, from
 // perfect locality to uniform interleave.
-func (s *Suite) NUMAStudy() (Artifact, error) {
-	curve, err := s.Curve()
+func (s *Suite) NUMAStudy(ctx context.Context) (Artifact, error) {
+	curve, err := s.Curve(ctx)
 	if err != nil {
 		return Artifact{}, err
 	}
-	classes, err := s.ClassParams(false)
+	classes, err := s.ClassParams(ctx, false)
 	if err != nil {
 		return Artifact{}, err
 	}
@@ -77,7 +78,7 @@ func (s *Suite) NUMAStudy() (Artifact, error) {
 // technique by analyzing the variation in the blocking factor": it
 // re-fits a scan-heavy workload at several prefetch depths and reports
 // the fitted BF per depth.
-func (s *Suite) PrefetchDepthSweep() (Artifact, error) {
+func (s *Suite) PrefetchDepthSweep(ctx context.Context) (Artifact, error) {
 	const name = "columnstore"
 	w, err := workloads.ByName(name)
 	if err != nil {
@@ -94,6 +95,9 @@ func (s *Suite) PrefetchDepthSweep() (Artifact, error) {
 		var covSum float64
 		var covN int
 		for _, sc := range PaperScalingConfigs() {
+			if err := ctx.Err(); err != nil {
+				return Artifact{}, err
+			}
 			cfg := machineConfig(w, sc)
 			if depth == 0 {
 				cfg.Cache.Prefetch.Enabled = false
@@ -136,7 +140,7 @@ func (s *Suite) PrefetchDepthSweep() (Artifact, error) {
 // GradeSweep is a supplementary study: the measured machine (not the
 // analytic model) across DDR grades at fixed core speed, showing the
 // emergent loaded-latency/bandwidth trade the analytic sweeps predict.
-func (s *Suite) GradeSweep(workload string) (Artifact, error) {
+func (s *Suite) GradeSweep(ctx context.Context, workload string) (Artifact, error) {
 	w, err := workloads.ByName(workload)
 	if err != nil {
 		return Artifact{}, err
@@ -144,7 +148,7 @@ func (s *Suite) GradeSweep(workload string) (Artifact, error) {
 	table := report.NewTable("Measured machine across DDR grades: "+workload,
 		"grade", "CPI", "MP (ns)", "bandwidth", "channel util")
 	for _, g := range []memsys.Grade{memsys.DDR3_1067, memsys.DDR3_1333, memsys.DDR3_1600, memsys.DDR3_1867} {
-		m, err := RunWorkload(w, ScalingConfig{CoreGHz: 2.5, Grade: g}, s.Scale, false)
+		m, err := RunWorkload(ctx, w, ScalingConfig{CoreGHz: 2.5, Grade: g}, s.Scale, false)
 		if err != nil {
 			return Artifact{}, err
 		}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"repro/internal/memsys"
 	"repro/internal/params"
 	"repro/internal/report"
@@ -10,7 +12,7 @@ import (
 
 // Figure1 reproduces the Fig. 1 narrative: the widening gap between CPU
 // core-count scaling and DRAM density scaling (the paper's motivation).
-func (s *Suite) Figure1() (Artifact, error) {
+func (s *Suite) Figure1(ctx context.Context) (Artifact, error) {
 	trend := params.Fig1(8)
 	table := report.NewTable("Figure 1: CPU vs DRAM scaling trend (normalized to 2012)",
 		"year", "core-count factor", "DRAM density factor", "gap")
@@ -33,7 +35,7 @@ func (s *Suite) Figure1() (Artifact, error) {
 
 // timeSeries runs one workload with sampling on and renders its CPU
 // utilization / CPI / bandwidth time series — the panels of Figs. 2/4/5.
-func (s *Suite) timeSeries(names []string, figID, title string) (Artifact, error) {
+func (s *Suite) timeSeries(ctx context.Context, names []string, figID, title string) (Artifact, error) {
 	a := Artifact{ID: figID}
 	cpiChart := report.NewChart(title+": CPI vs time", "sample", "CPI")
 	bwChart := report.NewChart(title+": memory bandwidth vs time", "sample", "GB/s")
@@ -44,7 +46,7 @@ func (s *Suite) timeSeries(names []string, figID, title string) (Artifact, error
 		if err != nil {
 			return Artifact{}, err
 		}
-		m, err := RunWorkload(w, ScalingConfig{CoreGHz: 2.5, Grade: memsys.DDR3_1867}, s.Scale, true)
+		m, err := RunWorkload(ctx, w, ScalingConfig{CoreGHz: 2.5, Grade: memsys.DDR3_1867}, s.Scale, true)
 		if err != nil {
 			return Artifact{}, err
 		}
@@ -81,31 +83,31 @@ func percentileOr(xs []float64, p float64) float64 {
 
 // Figure2 reproduces Fig. 2: characterization time series for the four
 // big-data workloads.
-func (s *Suite) Figure2() (Artifact, error) {
-	return s.timeSeries([]string{"columnstore", "nits", "proximity", "spark"},
+func (s *Suite) Figure2(ctx context.Context) (Artifact, error) {
+	return s.timeSeries(ctx, []string{"columnstore", "nits", "proximity", "spark"},
 		"fig2", "Figure 2 (big data)")
 }
 
 // Figure4 reproduces Fig. 4: enterprise workload time series.
-func (s *Suite) Figure4() (Artifact, error) {
-	return s.timeSeries([]string{"oltp", "jvm", "virtualization", "webcache"},
+func (s *Suite) Figure4(ctx context.Context) (Artifact, error) {
+	return s.timeSeries(ctx, []string{"oltp", "jvm", "virtualization", "webcache"},
 		"fig4", "Figure 4 (enterprise)")
 }
 
 // Figure5 reproduces Fig. 5: HPC proxy time series.
-func (s *Suite) Figure5() (Artifact, error) {
-	return s.timeSeries([]string{"bwaves", "milc", "soplex", "wrf"},
+func (s *Suite) Figure5(ctx context.Context) (Artifact, error) {
+	return s.timeSeries(ctx, []string{"bwaves", "milc", "soplex", "wrf"},
 		"fig5", "Figure 5 (HPC)")
 }
 
 // Figure3 reproduces Fig. 3: measured CPI_eff vs MPI×MP with linear fits
 // for the big-data workloads ((a) memory-sensitive three, (b) proximity).
-func (s *Suite) Figure3() (Artifact, error) {
+func (s *Suite) Figure3(ctx context.Context) (Artifact, error) {
 	chart := report.NewChart("Figure 3: CPI vs miss-penalty-per-instruction, big data fits",
 		"MPI x MP (core cycles per instruction)", "CPI_eff")
 	table := report.NewTable("Figure 3 fit quality", "workload", "CPI_cache", "BF", "R2", "points")
 	for _, name := range []string{"columnstore", "nits", "spark", "proximity"} {
-		fit, err := s.Fit(name)
+		fit, err := s.Fit(ctx, name)
 		if err != nil {
 			return Artifact{}, err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cache"
@@ -43,8 +44,12 @@ func machineConfig(w workloads.Workload, sc ScalingConfig) sim.Config {
 }
 
 // RunWorkload performs a single measured run of a workload at one scaling
-// point — the unit of data collection behind Figs. 2–5.
-func RunWorkload(w workloads.Workload, sc ScalingConfig, scale Scale, sample bool) (sim.Measurement, error) {
+// point — the unit of data collection behind Figs. 2–5. The context is
+// checked before the (multi-second at full scale) simulation starts.
+func RunWorkload(ctx context.Context, w workloads.Workload, sc ScalingConfig, scale Scale, sample bool) (sim.Measurement, error) {
+	if err := ctx.Err(); err != nil {
+		return sim.Measurement{}, err
+	}
 	cfg := machineConfig(w, sc)
 	if sample {
 		cfg.SampleInterval = scale.SampleInterval
@@ -58,11 +63,11 @@ func RunWorkload(w workloads.Workload, sc ScalingConfig, scale Scale, sample boo
 
 // FitWorkload runs the full scaling grid for one workload and fits
 // Eq. 1's constants (Fig. 3 / Tables 2, 4, 5).
-func FitWorkload(w workloads.Workload, configs []ScalingConfig, scale Scale) (model.Fit, []sim.Measurement, error) {
+func FitWorkload(ctx context.Context, w workloads.Workload, configs []ScalingConfig, scale Scale) (model.Fit, []sim.Measurement, error) {
 	var points []model.FitPoint
 	var runs []sim.Measurement
 	for _, sc := range configs {
-		m, err := RunWorkload(w, sc, scale, false)
+		m, err := RunWorkload(ctx, w, sc, scale, false)
 		if err != nil {
 			return model.Fit{}, nil, fmt.Errorf("experiments: fit %s at %.1fGHz/%v: %w", w.Name(), sc.CoreGHz, sc.Grade, err)
 		}
@@ -78,10 +83,10 @@ func FitWorkload(w workloads.Workload, configs []ScalingConfig, scale Scale) (mo
 
 // FitClass fits every workload of a class and returns the fits in
 // registry order.
-func FitClass(c workloads.Class, scale Scale) ([]model.Fit, error) {
+func FitClass(ctx context.Context, c workloads.Class, scale Scale) ([]model.Fit, error) {
 	var fits []model.Fit
 	for _, w := range workloads.ByClass(c) {
-		fit, _, err := FitWorkload(w, PaperScalingConfigs(), scale)
+		fit, _, err := FitWorkload(ctx, w, PaperScalingConfigs(), scale)
 		if err != nil {
 			return nil, err
 		}
@@ -92,13 +97,16 @@ func FitClass(c workloads.Class, scale Scale) ([]model.Fit, error) {
 
 // fitWithoutPrefetch reruns a workload's scaling grid with the hardware
 // prefetcher disabled — the §VII ablation.
-func fitWithoutPrefetch(name string, scale Scale) (model.Fit, error) {
+func fitWithoutPrefetch(ctx context.Context, name string, scale Scale) (model.Fit, error) {
 	w, err := workloads.ByName(name)
 	if err != nil {
 		return model.Fit{}, err
 	}
 	var points []model.FitPoint
 	for _, sc := range PaperScalingConfigs() {
+		if err := ctx.Err(); err != nil {
+			return model.Fit{}, err
+		}
 		cfg := machineConfig(w, sc)
 		cfg.Cache.Prefetch.Enabled = false
 		m, err := sim.New(cfg, w.Name(), w)

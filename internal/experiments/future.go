@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"repro/internal/model"
 	"repro/internal/report"
 	"repro/internal/units"
@@ -16,12 +18,12 @@ import (
 //  3. emerging memory attached directly (3× latency, 0.4× bandwidth);
 //  4. the §VII mitigation: the same emerging memory behind a DRAM cache
 //     with a 90% hit rate (Eq. 5).
-func (s *Suite) FutureMemory() (Artifact, error) {
-	base, err := s.BaselinePlatform()
+func (s *Suite) FutureMemory(ctx context.Context) (Artifact, error) {
+	base, err := s.BaselinePlatform(ctx)
 	if err != nil {
 		return Artifact{}, err
 	}
-	classes, err := s.ClassParams(false)
+	classes, err := s.ClassParams(ctx, false)
 	if err != nil {
 		return Artifact{}, err
 	}

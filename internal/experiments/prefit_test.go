@@ -12,16 +12,16 @@ func TestPrefitConcurrentConsistency(t *testing.T) {
 	// fresh suite (fits are deterministic and computed exactly once).
 	names := []string{"raytrace", "interp"}
 	par := NewSuite(Quick())
-	if err := par.Prefit(names, 2); err != nil {
+	if err := par.Prefit(bg, names, 2); err != nil {
 		t.Fatal(err)
 	}
 	ser := NewSuite(Quick())
 	for _, n := range names {
-		pf, err := par.Fit(n)
+		pf, err := par.Fit(bg, n)
 		if err != nil {
 			t.Fatal(err)
 		}
-		sf, err := ser.Fit(n)
+		sf, err := ser.Fit(bg, n)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -33,7 +33,7 @@ func TestPrefitConcurrentConsistency(t *testing.T) {
 
 func TestPrefitPropagatesErrors(t *testing.T) {
 	s := NewSuite(Quick())
-	if err := s.Prefit([]string{"no-such-workload"}, 1); err == nil {
+	if err := s.Prefit(bg, []string{"no-such-workload"}, 1); err == nil {
 		t.Fatal("want error for unknown workload")
 	}
 }
@@ -41,7 +41,7 @@ func TestPrefitPropagatesErrors(t *testing.T) {
 func TestPrefitZeroParallelism(t *testing.T) {
 	// parallelism ≤ 0 means one worker per name; must still work.
 	s := NewSuite(Scale{WarmupInstr: 500_000, MeasureInstr: 500_000})
-	if err := s.Prefit(nil, 0); err != nil {
+	if err := s.Prefit(bg, nil, 0); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -1,0 +1,8 @@
+//go:build !race
+
+package experiments
+
+// raceEnabled lets expensive tests shrink their scope under the race
+// detector (its 5-10x slowdown makes two full quick-suite runs
+// impractical).
+const raceEnabled = false

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"context"
+
+	"repro/internal/engine"
+	"repro/internal/workloads"
+)
+
+// Resource naming scheme: one "fit:<workload>" resource per workload's
+// scaling fit, plus the calibrated composite queuing curve.
+const CurveResource = "queue-curve"
+
+// FitResource names the engine resource for one workload's scaling fit.
+func FitResource(workload string) string { return "fit:" + workload }
+
+// fitDeps lists the fit resources for whole workload classes.
+func fitDeps(classes ...workloads.Class) []string {
+	var out []string
+	for _, c := range classes {
+		for _, w := range workloads.ByClass(c) {
+			out = append(out, FitResource(w.Name()))
+		}
+	}
+	return out
+}
+
+// fits lists the fit resources for named workloads.
+func fits(names ...string) []string {
+	out := make([]string, len(names))
+	for i, n := range names {
+		out[i] = FitResource(n)
+	}
+	return out
+}
+
+// Registry returns the engine registry for this suite: every table and
+// figure of DESIGN.md §4 with its paper reference and declared
+// dependencies. Workload fits and the calibrated queuing curve are
+// registered as shared resources, so the scheduler computes each exactly
+// once, in parallel where the DAG allows, before the experiments that
+// need them.
+func (s *Suite) Registry() *engine.Registry {
+	r := engine.NewRegistry()
+
+	for _, name := range workloads.Names() {
+		name := name
+		r.MustRegisterResource(engine.Resource{
+			Name: FitResource(name),
+			Prepare: func(ctx context.Context) error {
+				_, err := s.Fit(ctx, name)
+				return err
+			},
+		})
+	}
+	r.MustRegisterResource(engine.Resource{
+		Name: CurveResource,
+		Prepare: func(ctx context.Context) error {
+			_, err := s.Curve(ctx)
+			return err
+		},
+	})
+
+	add := func(id, title, section string, deps []string, run func(context.Context) (Artifact, error)) {
+		r.MustRegister(engine.Experiment{ID: id, Title: title, Section: section, Deps: deps, Run: run})
+	}
+
+	bigData := fitDeps(workloads.BigData)
+	curve := []string{CurveResource}
+
+	add("fig1", "Figure 1: CPU vs DRAM scaling trend", "§I / Fig. 1", nil, s.Figure1)
+	add("fig2", "Figure 2: big-data time series", "§V.B / Fig. 2", nil, s.Figure2)
+	add("fig3", "Figure 3: CPI vs MPI×MP fits (big data)", "§V.A–B / Fig. 3", bigData, s.Figure3)
+	add("table2", "Table 2: workload parameters for big data", "§V.B / Tab. 2", bigData, s.Table2)
+	add("table3", "Table 3: computed vs measured CPI (Structured Data)", "§V.A / Tab. 3", fits("columnstore"), s.Table3)
+	add("fig4", "Figure 4: enterprise time series", "§V.C / Fig. 4", nil, s.Figure4)
+	add("fig5", "Figure 5: HPC time series", "§V.D / Fig. 5", nil, s.Figure5)
+	add("table4", "Table 4: workload parameters for enterprise", "§V.C / Tab. 4", fitDeps(workloads.Enterprise), s.Table4)
+	add("table5", "Table 5: workload parameters for HPC", "§V.D / Tab. 5", fitDeps(workloads.HPC), s.Table5)
+	add("table6", "Table 6: workload class parameters", "§VI.B / Tab. 6", fitDeps(workloads.Enterprise, workloads.BigData, workloads.HPC), s.Table6)
+	add("fig6", "Figure 6: bandwidth demand vs latency sensitivity", "§VI.A / Fig. 6", fitDeps(workloads.BigData, workloads.Enterprise, workloads.HPC, workloads.Micro), s.Figure6)
+	add("fig7", "Figure 7: queuing delay vs bandwidth utilization", "§VI.C.1 / Fig. 7", nil, s.Figure7)
+	add("efficiency", "Measured channel efficiency (MLC saturation)", "§VI.C.1", nil, s.EfficiencyTable)
+	add("fig8", "Figure 8: CPI increase vs per-core bandwidth reduction", "§VI.C.3 / Fig. 8", curve, s.Figure8)
+	add("fig9", "Figure 9: marginal CPI impact of bandwidth", "§VI.C.3 / Fig. 9", curve, s.Figure9)
+	add("fig10", "Figure 10: CPI increase vs compulsory latency", "§VI.C.2 / Fig. 10", curve, s.Figure10)
+	add("fig11", "Figure 11: CPI increase per +10 ns latency", "§VI.C.2 / Fig. 11", curve, s.Figure11)
+	add("table7", "Table 7: design tradeoffs (1 GB/s/core vs 10 ns)", "§VI.D / Tab. 7", curve, s.Table7)
+	add("tiered", "Two-tier memory: DRAM cache + emerging memory (Eq. 5)", "§VII / Eq. 5", curve, s.TieredMemory)
+	add("future-memory", "Future memory technologies per workload class", "§VII", curve, s.FutureMemory)
+	add("numa", "Dual-socket NUMA sensitivity", "§VIII", curve, s.NUMAStudy)
+	add("prefetch-ablation", "Prefetcher effect on fitted blocking factor", "§VII", fits("columnstore", "bwaves", "oltp"), s.PrefetchAblation)
+	add("prefetch-depth", "Prefetch depth vs fitted blocking factor", "§VII", nil, s.PrefetchDepthSweep)
+	add("queue-ablation", "Measured composite vs analytic queuing curves", "DESIGN.md §5", curve, s.QueueCurveAblation)
+	add("grades-hpc", "Measured machine across DDR grades (bwaves)", "supplementary", nil,
+		func(ctx context.Context) (Artifact, error) { return s.GradeSweep(ctx, "bwaves") })
+
+	return r
+}

@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/workloads"
+)
+
+func TestRegistryCatalog(t *testing.T) {
+	reg := NewSuite(Quick()).Registry()
+	if err := reg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ids := reg.IDs()
+	if len(ids) != 25 {
+		t.Fatalf("registry has %d experiments, want 25", len(ids))
+	}
+	// The catalog starts with Fig. 1 and covers the supplementary sweep.
+	if ids[0] != "fig1" {
+		t.Fatalf("first id = %s", ids[0])
+	}
+	want := map[string]bool{"fig7": true, "table7": true, "grades-hpc": true, "efficiency": true}
+	for _, id := range ids {
+		delete(want, id)
+	}
+	if len(want) != 0 {
+		t.Fatalf("missing ids: %v", want)
+	}
+	// Every experiment carries a title and a section reference.
+	for _, e := range reg.Experiments() {
+		if e.Title == "" || e.Section == "" {
+			t.Fatalf("%s: missing title or section", e.ID)
+		}
+	}
+	// One fit resource per workload plus the calibrated curve.
+	for _, name := range workloads.Names() {
+		if _, ok := reg.Resource(FitResource(name)); !ok {
+			t.Fatalf("missing fit resource for %s", name)
+		}
+	}
+	if _, ok := reg.Resource(CurveResource); !ok {
+		t.Fatal("missing queue-curve resource")
+	}
+}
+
+func TestRegistryFitDepsShareCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs scaling fits")
+	}
+	// Scheduling an experiment whose fits were prepared as resources must
+	// serve every Fit call from cache (hits > 0, misses == 0).
+	s := NewSuite(Quick())
+	reg := s.Registry()
+	rr, err := engine.Run(bg, reg, []string{"table3"}, engine.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Failed() != 0 {
+		t.Fatalf("failed: %+v", rr.Experiments[0].Err)
+	}
+	res := rr.Experiments[0]
+	if res.FitCacheMisses != 0 || res.FitCacheHits == 0 {
+		t.Fatalf("table3 fit cache: %d hits / %d misses, want all hits", res.FitCacheHits, res.FitCacheMisses)
+	}
+}
+
+// runQuickManifest executes the selected experiments on a fresh suite into
+// a fresh directory and returns the parsed manifest.
+func runQuickManifest(t *testing.T, ids []string, workers int) engine.Manifest {
+	t.Helper()
+	dir := t.TempDir()
+	sink, err := engine.NewDirSink(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewSuite(Quick()).Registry()
+	rr, err := engine.Run(bg, reg, ids, engine.Options{
+		Workers: workers,
+		OnResult: func(res engine.ExperimentResult) {
+			if err := sink.Write(res); err != nil {
+				t.Error(err)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := rr.Failed(); n != 0 {
+		for _, res := range rr.Experiments {
+			if res.Err != nil {
+				t.Errorf("%s: %v", res.ID, res.Err)
+			}
+		}
+		t.Fatalf("%d experiments failed", n)
+	}
+	sink.RecordRun(rr, workers)
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m engine.Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestGoldenManifestNoDrift runs the full -quick suite twice — fresh
+// suites, different worker counts — and requires identical content hashes
+// for every artifact file. The simulator is deterministic, so any
+// divergence means concurrency (or a code change) altered results.
+func TestGoldenManifestNoDrift(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full -quick suite runs")
+	}
+	// Under the race detector the full suite is impractically slow; a
+	// representative subset still exercises concurrent fits, the curve
+	// calibration, and manifest determinism.
+	var ids []string
+	if raceEnabled {
+		ids = []string{"fig1", "fig7", "fig8", "table3", "efficiency"}
+	}
+	a := runQuickManifest(t, ids, 4)
+	b := runQuickManifest(t, ids, 2)
+	if len(a.Experiments) != len(b.Experiments) || len(a.Experiments) == 0 {
+		t.Fatalf("entry counts differ: %d vs %d", len(a.Experiments), len(b.Experiments))
+	}
+	for i := range a.Experiments {
+		ea, eb := a.Experiments[i], b.Experiments[i]
+		if ea.ID != eb.ID {
+			t.Fatalf("order differs at %d: %s vs %s", i, ea.ID, eb.ID)
+		}
+		if len(ea.Files) != len(eb.Files) {
+			t.Fatalf("%s: file counts differ", ea.ID)
+		}
+		for j := range ea.Files {
+			fa, fb := ea.Files[j], eb.Files[j]
+			if fa.Name != fb.Name || fa.SHA256 != fb.SHA256 {
+				t.Errorf("%s: drift in %s (hash %s vs %s)", ea.ID, fa.Name, fa.SHA256[:12], fb.SHA256[:12])
+			}
+		}
+	}
+}

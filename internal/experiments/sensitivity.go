@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -11,12 +12,12 @@ import (
 // Figure8 reproduces the bandwidth-sensitivity study: CPI increase per
 // workload class versus the reduction in deliverable memory bandwidth per
 // core, across channel-count/speed/efficiency variants of the baseline.
-func (s *Suite) Figure8() (Artifact, error) {
-	base, err := s.BaselinePlatform()
+func (s *Suite) Figure8(ctx context.Context) (Artifact, error) {
+	base, err := s.BaselinePlatform(ctx)
 	if err != nil {
 		return Artifact{}, err
 	}
-	classes, err := s.ClassParams(false)
+	classes, err := s.ClassParams(ctx, false)
 	if err != nil {
 		return Artifact{}, err
 	}
@@ -54,12 +55,12 @@ func (s *Suite) Figure8() (Artifact, error) {
 // GB/s/core as a function of the bandwidth available per core — "the
 // performance impact of bandwidth reduction is based on the starting
 // configuration".
-func (s *Suite) Figure9() (Artifact, error) {
-	base, err := s.BaselinePlatform()
+func (s *Suite) Figure9(ctx context.Context) (Artifact, error) {
+	base, err := s.BaselinePlatform(ctx)
 	if err != nil {
 		return Artifact{}, err
 	}
-	classes, err := s.ClassParams(false)
+	classes, err := s.ClassParams(ctx, false)
 	if err != nil {
 		return Artifact{}, err
 	}
@@ -97,12 +98,12 @@ func (s *Suite) Figure9() (Artifact, error) {
 
 // Figure10 reproduces the latency-sensitivity study: CPI versus
 // compulsory latency in +10 ns steps from the 75 ns baseline.
-func (s *Suite) Figure10() (Artifact, error) {
-	base, err := s.BaselinePlatform()
+func (s *Suite) Figure10(ctx context.Context) (Artifact, error) {
+	base, err := s.BaselinePlatform(ctx)
 	if err != nil {
 		return Artifact{}, err
 	}
-	classes, err := s.ClassParams(false)
+	classes, err := s.ClassParams(ctx, false)
 	if err != nil {
 		return Artifact{}, err
 	}
@@ -136,12 +137,12 @@ func (s *Suite) Figure10() (Artifact, error) {
 
 // Figure11 reproduces the per-step derivative of Fig. 10: CPI increase
 // per +10 ns (paper: ≈3.5% enterprise, ≈2.5% big data, ≈0% HPC).
-func (s *Suite) Figure11() (Artifact, error) {
-	base, err := s.BaselinePlatform()
+func (s *Suite) Figure11(ctx context.Context) (Artifact, error) {
+	base, err := s.BaselinePlatform(ctx)
 	if err != nil {
 		return Artifact{}, err
 	}
-	classes, err := s.ClassParams(false)
+	classes, err := s.ClassParams(ctx, false)
 	if err != nil {
 		return Artifact{}, err
 	}
@@ -170,12 +171,12 @@ func (s *Suite) Figure11() (Artifact, error) {
 
 // Table7 reproduces the design-tradeoff summary: the latency/bandwidth
 // equivalence per workload class.
-func (s *Suite) Table7() (Artifact, error) {
-	base, err := s.BaselinePlatform()
+func (s *Suite) Table7(ctx context.Context) (Artifact, error) {
+	base, err := s.BaselinePlatform(ctx)
 	if err != nil {
 		return Artifact{}, err
 	}
-	classes, err := s.ClassParams(false)
+	classes, err := s.ClassParams(ctx, false)
 	if err != nil {
 		return Artifact{}, err
 	}

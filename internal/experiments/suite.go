@@ -1,52 +1,41 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 
+	"repro/internal/engine"
 	"repro/internal/memsys"
 	"repro/internal/model"
 	"repro/internal/params"
 	"repro/internal/queueing"
-	"repro/internal/report"
 	"repro/internal/sim"
 	"repro/internal/units"
 	"repro/internal/workloads"
 )
 
 // Artifact is a rendered experiment: the tables and charts that
-// correspond to one table or figure of the paper.
-type Artifact struct {
-	ID     string // e.g. "fig7", "table2"
-	Tables []*report.Table
-	Charts []*report.Chart
-}
-
-// Text renders the artifact as plain text.
-func (a Artifact) Text() string {
-	out := ""
-	for _, t := range a.Tables {
-		out += t.ASCII() + "\n"
-	}
-	for _, c := range a.Charts {
-		out += c.ASCII() + "\n"
-	}
-	return out
-}
+// correspond to one table or figure of the paper. It is the engine's
+// artifact type — every constructor here feeds the engine's registry,
+// scheduler, and sinks directly.
+type Artifact = engine.Artifact
 
 // Suite runs the paper's experiments with shared, cached intermediate
 // results: workload fits are reused across Fig. 3, Tables 2/4/5 and
 // Fig. 6, and the calibrated queuing curve is reused across Figs. 8–11
 // and Table 7. Fits for different workloads may be computed concurrently
-// (Prefit); each workload's grid runs exactly once per suite.
+// (Prefit, or the engine's fit resources); each workload's grid runs
+// exactly once per suite. All heavy methods take a context and return
+// early when it is cancelled; a cancelled computation is evicted from
+// the cache so a later call can retry.
 type Suite struct {
 	Scale Scale
 
 	mu      sync.Mutex
 	entries map[string]*fitEntry
-	curve   queueing.Curve
-	// measured efficiency of the baseline memory system (Fig. 7 run)
-	baseEff float64
+	curve   *curveEntry
 }
 
 // fitEntry computes one workload's scaling fit exactly once, even under
@@ -56,6 +45,16 @@ type fitEntry struct {
 	fit  model.Fit
 	runs []sim.Measurement
 	err  error
+}
+
+// curveEntry computes the calibrated queuing curve exactly once, even
+// under concurrent callers — the same once-cell shape as fitEntry, so
+// Curve no longer holds the suite mutex across the whole calibration.
+type curveEntry struct {
+	once  sync.Once
+	curve queueing.Curve
+	eff   float64
+	err   error
 }
 
 // NewSuite creates a Suite at the given scale.
@@ -77,24 +76,55 @@ func (s *Suite) entry(name string) *fitEntry {
 	return e
 }
 
+func (s *Suite) curveCell() *curveEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.curve == nil {
+		s.curve = &curveEntry{}
+	}
+	return s.curve
+}
+
+// isCtxErr reports whether err stems from context cancellation; such
+// results must not poison the suite caches.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
 // Fit returns the cached scaling fit for a workload, running the grid on
 // first use. Safe for concurrent use; the grid runs once per workload.
-func (s *Suite) Fit(name string) (model.Fit, error) {
+// Cache hits and misses are reported to the engine's per-experiment
+// metrics when the context carries a recorder.
+func (s *Suite) Fit(ctx context.Context, name string) (model.Fit, error) {
 	e := s.entry(name)
+	ran := false
 	e.once.Do(func() {
+		ran = true
 		w, err := workloads.ByName(name)
 		if err != nil {
 			e.err = err
 			return
 		}
-		e.fit, e.runs, e.err = FitWorkload(w, PaperScalingConfigs(), s.Scale)
+		e.fit, e.runs, e.err = FitWorkload(ctx, w, PaperScalingConfigs(), s.Scale)
 	})
+	if ran {
+		engine.RecordFitCacheMiss(ctx)
+	} else {
+		engine.RecordFitCacheHit(ctx)
+	}
+	if isCtxErr(e.err) {
+		s.mu.Lock()
+		if s.entries[name] == e {
+			delete(s.entries, name)
+		}
+		s.mu.Unlock()
+	}
 	return e.fit, e.err
 }
 
 // FitRuns returns the per-configuration measurements behind a fit.
-func (s *Suite) FitRuns(name string) ([]sim.Measurement, error) {
-	if _, err := s.Fit(name); err != nil {
+func (s *Suite) FitRuns(ctx context.Context, name string) ([]sim.Measurement, error) {
+	if _, err := s.Fit(ctx, name); err != nil {
 		return nil, err
 	}
 	return s.entry(name).runs, nil
@@ -103,7 +133,7 @@ func (s *Suite) FitRuns(name string) ([]sim.Measurement, error) {
 // Prefit computes the named workloads' fits concurrently (bounded by
 // parallelism; ≤0 means one worker per workload). Subsequent Fit calls
 // hit the cache. The first error is returned after all workers finish.
-func (s *Suite) Prefit(names []string, parallelism int) error {
+func (s *Suite) Prefit(ctx context.Context, names []string, parallelism int) error {
 	if parallelism <= 0 || parallelism > len(names) {
 		parallelism = len(names)
 	}
@@ -116,7 +146,7 @@ func (s *Suite) Prefit(names []string, parallelism int) error {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			if _, err := s.Fit(name); err != nil {
+			if _, err := s.Fit(ctx, name); err != nil {
 				errs <- fmt.Errorf("prefit %s: %w", name, err)
 			}
 		}(name)
@@ -127,10 +157,10 @@ func (s *Suite) Prefit(names []string, parallelism int) error {
 }
 
 // ClassFits returns the fits for every workload of a class.
-func (s *Suite) ClassFits(c workloads.Class) ([]model.Fit, error) {
+func (s *Suite) ClassFits(ctx context.Context, c workloads.Class) ([]model.Fit, error) {
 	var fits []model.Fit
 	for _, w := range workloads.ByClass(c) {
-		f, err := s.Fit(w.Name())
+		f, err := s.Fit(ctx, w.Name())
 		if err != nil {
 			return nil, err
 		}
@@ -140,26 +170,37 @@ func (s *Suite) ClassFits(c workloads.Class) ([]model.Fit, error) {
 }
 
 // Curve returns the composite queuing curve calibrated from the Fig. 7
-// MLC sweep, cached after the first call.
-func (s *Suite) Curve() (queueing.Curve, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.curve != nil {
-		return s.curve, nil
+// MLC sweep, cached after the first call. Concurrent callers share one
+// calibration without blocking the suite's fit cache.
+func (s *Suite) Curve(ctx context.Context) (queueing.Curve, error) {
+	c := s.curveCell()
+	c.once.Do(func() {
+		c.curve, c.eff, c.err = CalibrateQueueCurve(ctx, s.Scale)
+	})
+	if isCtxErr(c.err) {
+		s.mu.Lock()
+		if s.curve == c {
+			s.curve = nil
+		}
+		s.mu.Unlock()
 	}
-	curve, eff, err := CalibrateQueueCurve(s.Scale)
-	if err != nil {
-		return nil, err
+	return c.curve, c.err
+}
+
+// BaseEfficiency returns the measured baseline channel efficiency from
+// the Fig. 7 calibration (calibrating first if needed).
+func (s *Suite) BaseEfficiency(ctx context.Context) (float64, error) {
+	c := s.curveCell()
+	if _, err := s.Curve(ctx); err != nil {
+		return 0, err
 	}
-	s.curve = curve
-	s.baseEff = eff
-	return s.curve, nil
+	return c.eff, nil
 }
 
 // BaselinePlatform returns the paper's §VI.C.2 baseline over the
 // calibrated curve.
-func (s *Suite) BaselinePlatform() (model.Platform, error) {
-	curve, err := s.Curve()
+func (s *Suite) BaselinePlatform(ctx context.Context) (model.Platform, error) {
+	curve, err := s.Curve(ctx)
 	if err != nil {
 		return model.Platform{}, err
 	}
@@ -170,7 +211,7 @@ func (s *Suite) BaselinePlatform() (model.Platform, error) {
 // sensitivity studies. By default they are the paper's published class
 // means; with fitted=true they are recomputed from this suite's own fits
 // (Proximity excluded from the big-data mean, as §VI.B does).
-func (s *Suite) ClassParams(fitted bool) ([]model.Params, error) {
+func (s *Suite) ClassParams(ctx context.Context, fitted bool) ([]model.Params, error) {
 	if !fitted {
 		var out []model.Params
 		for _, t := range params.Table6 {
@@ -195,7 +236,7 @@ func (s *Suite) ClassParams(fitted bool) ([]model.Params, error) {
 	}
 	var out []model.Params
 	for _, c := range classes {
-		fits, err := s.ClassFits(c.class)
+		fits, err := s.ClassFits(ctx, c.class)
 		if err != nil {
 			return nil, err
 		}

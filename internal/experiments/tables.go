@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/model"
@@ -12,12 +13,12 @@ import (
 
 // paramsTable renders fitted workload parameters next to the paper's
 // values (Tables 2, 4, 5).
-func (s *Suite) paramsTable(id, title string, class workloads.Class) (Artifact, error) {
+func (s *Suite) paramsTable(ctx context.Context, id, title string, class workloads.Class) (Artifact, error) {
 	table := report.NewTable(title,
 		"workload", "CPI_cache", "BF", "MPKI", "WBR", "R2",
 		"paper CPI_cache", "paper BF", "paper MPKI", "paper WBR")
 	for _, w := range workloads.ByClass(class) {
-		fit, err := s.Fit(w.Name())
+		fit, err := s.Fit(ctx, w.Name())
 		if err != nil {
 			return Artifact{}, err
 		}
@@ -34,8 +35,8 @@ func (s *Suite) paramsTable(id, title string, class workloads.Class) (Artifact, 
 }
 
 // Table2 reproduces the big-data workload parameters.
-func (s *Suite) Table2() (Artifact, error) {
-	a, err := s.paramsTable("table2", "Table 2: workload parameters for big data", workloads.BigData)
+func (s *Suite) Table2(ctx context.Context) (Artifact, error) {
+	a, err := s.paramsTable(ctx, "table2", "Table 2: workload parameters for big data", workloads.BigData)
 	if err != nil {
 		return Artifact{}, err
 	}
@@ -44,8 +45,8 @@ func (s *Suite) Table2() (Artifact, error) {
 }
 
 // Table4 reproduces the enterprise workload parameters.
-func (s *Suite) Table4() (Artifact, error) {
-	a, err := s.paramsTable("table4", "Table 4: workload parameters for enterprise", workloads.Enterprise)
+func (s *Suite) Table4(ctx context.Context) (Artifact, error) {
+	a, err := s.paramsTable(ctx, "table4", "Table 4: workload parameters for enterprise", workloads.Enterprise)
 	if err != nil {
 		return Artifact{}, err
 	}
@@ -54,8 +55,8 @@ func (s *Suite) Table4() (Artifact, error) {
 }
 
 // Table5 reproduces the HPC workload parameters.
-func (s *Suite) Table5() (Artifact, error) {
-	a, err := s.paramsTable("table5", "Table 5: workload parameters for HPC", workloads.HPC)
+func (s *Suite) Table5(ctx context.Context) (Artifact, error) {
+	a, err := s.paramsTable(ctx, "table5", "Table 5: workload parameters for HPC", workloads.HPC)
 	if err != nil {
 		return Artifact{}, err
 	}
@@ -66,8 +67,8 @@ func (s *Suite) Table5() (Artifact, error) {
 // Table3 reproduces the validation table: computed vs measured CPI for
 // Structured Data across the scaling grid (two memory speeds × four core
 // speeds, like the paper's eight columns), with per-point error.
-func (s *Suite) Table3() (Artifact, error) {
-	fit, err := s.Fit("columnstore")
+func (s *Suite) Table3(ctx context.Context) (Artifact, error) {
+	fit, err := s.Fit(ctx, "columnstore")
 	if err != nil {
 		return Artifact{}, err
 	}
@@ -91,8 +92,8 @@ func (s *Suite) Table3() (Artifact, error) {
 }
 
 // Table6 reproduces the class means, fitted vs published.
-func (s *Suite) Table6() (Artifact, error) {
-	fitted, err := s.ClassParams(true)
+func (s *Suite) Table6(ctx context.Context) (Artifact, error) {
+	fitted, err := s.ClassParams(ctx, true)
 	if err != nil {
 		return Artifact{}, err
 	}
@@ -112,7 +113,7 @@ func (s *Suite) Table6() (Artifact, error) {
 // (reads+writebacks per cycle at CPI_cache) vs latency sensitivity (BF),
 // one point per workload, class means marked, plus a k-means check that
 // the classes form distinct clusters.
-func (s *Suite) Figure6() (Artifact, error) {
+func (s *Suite) Figure6(ctx context.Context) (Artifact, error) {
 	chart := report.NewChart("Figure 6: bandwidth demand vs latency sensitivity",
 		"blocking factor (latency sensitivity)", "memory references per cycle (bandwidth demand)")
 	table := report.NewTable("Figure 6 points", "workload", "class", "BF", "refs/cycle")
@@ -122,7 +123,7 @@ func (s *Suite) Figure6() (Artifact, error) {
 	for _, class := range classes {
 		var xs, ys []float64
 		for _, w := range workloads.ByClass(class) {
-			fit, err := s.Fit(w.Name())
+			fit, err := s.Fit(ctx, w.Name())
 			if err != nil {
 				return Artifact{}, err
 			}
@@ -144,7 +145,7 @@ func (s *Suite) Figure6() (Artifact, error) {
 
 	// Class means (the paper's red markers).
 	meanTable := report.NewTable("Figure 6 class means", "class", "BF", "refs/cycle")
-	fitted, err := s.ClassParams(true)
+	fitted, err := s.ClassParams(ctx, true)
 	if err != nil {
 		return Artifact{}, err
 	}
@@ -172,10 +173,13 @@ func (s *Suite) Figure6() (Artifact, error) {
 
 // EfficiencyTable is a supplementary artifact: measured saturation
 // bandwidth and efficiency per grade/mix (the §VI.C.1 efficiency notes).
-func (s *Suite) EfficiencyTable() (Artifact, error) {
+func (s *Suite) EfficiencyTable(ctx context.Context) (Artifact, error) {
 	table := report.NewTable("Measured channel efficiency (MLC saturation)",
 		"grade", "read mix", "raw BW", "saturated BW", "efficiency")
 	for _, combo := range PaperFig7Combos() {
+		if err := ctx.Err(); err != nil {
+			return Artifact{}, err
+		}
 		cfg := memsysConfigFor(combo.Grade)
 		max, err := workloads.MaxBandwidth(cfg, combo.ReadFraction, 0xEFF)
 		if err != nil {

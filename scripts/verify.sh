@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Full verification: vet, build, the tier-1 test suite, and the race
+# detector over the concurrency-bearing packages (the engine scheduler
+# and the experiment suite's shared caches).
+#
+# The race pass shrinks the golden-manifest drift test's scope via the
+# `race` build tag (see internal/experiments/race_on_test.go) — the
+# detector's slowdown makes two full -quick suite runs impractical.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test (tier 1)"
+go test ./...
+
+echo "== go test -race (engine + experiments)"
+go test -race -timeout 30m ./internal/engine/ ./internal/experiments/
+
+echo "verify: OK"
