@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -67,12 +68,21 @@ func main() {
 		Queue: queueing.MM1{Service: 6 * units.Nanosecond, ULimit: 0.95},
 	}
 
-	op, err := model.Evaluate(p, pl)
-	check(err)
 	fmt.Printf("class %-12s CPI_cache=%.2f BF=%.2f MPKI=%.1f WBR=%.0f%%\n",
 		p.Name, p.CPICache, p.BF, p.MPKI, p.WBR*100)
 	fmt.Printf("platform: %dC/%dT @ %.1fGHz, %dch DDR-%d, peak %v, compulsory %v\n",
 		*cores, *threads, *ghz, *channels, *grade, peak, pl.Compulsory)
+
+	// All three scenarios go through the unified solver as one batch; the
+	// Metrics context collects the kernel's telemetry for the footer line.
+	ctx, metrics := engine.WithMetrics(context.Background())
+	grid, err := model.EvaluateAll(ctx, []model.Params{p}, []model.Platform{
+		pl,
+		pl.WithCompulsory(pl.Compulsory + units.Duration(*dlat)),
+		pl.WithPeakBW(pl.PeakBW - units.GBpsOf(*dbw*float64(*cores))),
+	})
+	check(err)
+	op, opLat, opBW := grid[0][0], grid[0][1], grid[0][2]
 
 	// The operating point and its what-ifs go out as an artifact table
 	// through the engine's stream sink — the same rendering cmd/repro's
@@ -80,17 +90,17 @@ func main() {
 	table := report.NewTable("Operating point and what-ifs",
 		"scenario", "CPI", "ΔCPI", "MP (ns)", "queue (ns)", "demand", "util", "bound", "Ginstr/s")
 	addOp(table, "baseline", op, op, pl)
-	opLat, err := model.Evaluate(p, pl.WithCompulsory(pl.Compulsory+units.Duration(*dlat)))
-	check(err)
 	addOp(table, fmt.Sprintf("+%gns latency", *dlat), op, opLat, pl)
-	opBW, err := model.Evaluate(p, pl.WithPeakBW(pl.PeakBW-units.GBpsOf(*dbw*float64(*cores))))
-	check(err)
 	addOp(table, fmt.Sprintf("-%gGB/s/core bandwidth", *dbw), op, opBW, pl)
 
 	art := engine.Artifact{ID: "memmodel", Tables: []*report.Table{table}}
 	sink := &engine.StreamSink{W: os.Stdout, Verbose: true}
 	check(engine.WriteArtifact(sink, "Analytic model query", art))
 	check(sink.Close())
+
+	st := metrics.SolveStats()
+	fmt.Printf("solver: %d fixed points, %d iterations, %d bandwidth-limited, worst residual %.2g\n",
+		st.Solves, st.Iterations, st.BandwidthLimited, st.MaxResidual)
 }
 
 // addOp appends one evaluated scenario to the what-if table.

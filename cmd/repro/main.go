@@ -96,8 +96,9 @@ func main() {
 				fmt.Fprintf(os.Stderr, "repro: %s: %v\n", res.ID, res.Err)
 				failures++
 			} else {
-				fmt.Printf("%-18s ok  (%.1fs, fit cache %d hit / %d miss)\n",
-					res.ID, res.Wall.Seconds(), res.FitCacheHits, res.FitCacheMisses)
+				fmt.Printf("%-18s ok  (%.1fs, fit cache %d hit / %d miss, %d solves / %d iters)\n",
+					res.ID, res.Wall.Seconds(), res.FitCacheHits, res.FitCacheMisses,
+					res.Solves, res.SolveIterations)
 				if *verbose {
 					fmt.Print(res.Artifact.Text())
 				}

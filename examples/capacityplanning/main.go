@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -62,22 +63,31 @@ func main() {
 		valuePerCost    float64
 	}
 
-	var results []result
-	for _, c := range candidates {
+	// The whole mix × candidate grid solves as one batch through the
+	// unified fixed-point kernel.
+	classes := make([]model.Params, len(mix))
+	for i, m := range mix {
+		classes[i] = model.Params{Name: m.class.Workload, CPICache: m.class.CPICache,
+			BF: m.class.BF, MPKI: m.class.MPKI, WBR: m.class.WBR}
+	}
+	platforms := make([]model.Platform, len(candidates))
+	for j, c := range candidates {
 		pl := model.BaselinePlatform(curve)
 		pl.Name = c.name
 		pl.Compulsory = c.compulsory
 		pl.PeakBW = units.BytesPerSecond(float64(c.channels) * float64(c.mts) * 1e6 * 8 * c.efficiency)
+		platforms[j] = pl
+	}
+	grid, err := model.EvaluateAll(context.Background(), classes, platforms)
+	if err != nil {
+		log.Fatal(err)
+	}
 
+	var results []result
+	for j, c := range candidates {
 		r := result{candidate: c, perClass: map[string]float64{}}
-		for _, m := range mix {
-			p := model.Params{Name: m.class.Workload, CPICache: m.class.CPICache,
-				BF: m.class.BF, MPKI: m.class.MPKI, WBR: m.class.WBR}
-			op, err := model.Evaluate(p, pl)
-			if err != nil {
-				log.Fatal(err)
-			}
-			tput := op.Throughput(pl) / 1e9
+		for i, m := range mix {
+			tput := grid[i][j].Throughput(platforms[j]) / 1e9
 			r.perClass[m.class.Workload] = tput
 			r.fleetThroughput += m.weight * tput
 		}

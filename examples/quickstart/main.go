@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -33,24 +34,20 @@ func main() {
 	// (cmd/repro calibrates a measured curve instead — Fig. 7.)
 	platform := model.BaselinePlatform(queueing.MM1{Service: 6 * units.Nanosecond, ULimit: 0.95})
 
-	base, err := model.Evaluate(bigData, platform)
+	// All three questions solve as one batch through the shared
+	// fixed-point kernel (internal/solve).
+	grid, err := model.EvaluateAll(context.Background(), []model.Params{bigData}, []model.Platform{
+		platform,
+		platform.WithCompulsory(platform.Compulsory + 10*units.Nanosecond), // +10 ns latency
+		platform.WithPeakBW(platform.PeakBW * 3 / 4),                       // 4 -> 3 channels
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	base, slower, narrower := grid[0][0], grid[0][1], grid[0][2]
+
 	fmt.Printf("baseline: CPI=%.3f, loaded latency=%.0fns, demand=%v (util %.0f%%)\n",
 		base.CPI, base.MissPenalty.Nanoseconds(), base.Demand, base.Utilization*100)
-
-	// What does +10 ns of compulsory latency cost?
-	slower, err := model.Evaluate(bigData, platform.WithCompulsory(platform.Compulsory+10*units.Nanosecond))
-	if err != nil {
-		log.Fatal(err)
-	}
 	fmt.Printf("+10ns latency:   CPI=%.3f (%+.1f%%)\n", slower.CPI, (slower.CPI/base.CPI-1)*100)
-
-	// What does dropping from 4 to 3 channels cost?
-	narrower, err := model.Evaluate(bigData, platform.WithPeakBW(platform.PeakBW*3/4))
-	if err != nil {
-		log.Fatal(err)
-	}
 	fmt.Printf("3 channels:      CPI=%.3f (%+.1f%%)\n", narrower.CPI, (narrower.CPI/base.CPI-1)*100)
 }

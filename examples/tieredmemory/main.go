@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -24,6 +25,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	curve := queueing.MM1{Service: 6 * units.Nanosecond, ULimit: 0.95}
 	base := model.BaselinePlatform(curve)
 
@@ -37,7 +39,7 @@ func main() {
 		"class", "all-DRAM CPI", "hit rate for <=10% regression", "CPI at 50% hit rate")
 	for _, t := range params.Table6 {
 		p := model.Params{Name: t.Workload, CPICache: t.CPICache, BF: t.BF, MPKI: t.MPKI, WBR: t.WBR}
-		baseOp, err := model.Evaluate(p, base)
+		baseOp, err := model.EvaluateCtx(ctx, p, base)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -54,14 +56,17 @@ func main() {
 					{Name: "PMEM", HitFraction: 1 - hit, Compulsory: pmemLatency, PeakBW: pmemBW, Queue: curve},
 				},
 			}
-			op, err := model.EvaluateTiered(p, tp)
+			op, err := model.EvaluateTieredCtx(ctx, p, tp)
 			if err != nil {
 				log.Fatal(err)
 			}
 			return op.CPI
 		}
 
-		// Bisect for the lowest hit rate within budget.
+		// Search the design space for the lowest hit rate within budget
+		// (CPI is monotone in hit rate). This is a parameter search over
+		// finished model evaluations — the model's own fixed points all
+		// solve inside internal/solve.
 		breakEven := "never within budget"
 		if tieredCPI(0)/baseOp.CPI-1 <= budget {
 			breakEven = "any (even 0%)"

@@ -3,10 +3,13 @@ package engine
 import (
 	"context"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/solve"
 )
 
 // Options configures a scheduler run.
@@ -33,6 +36,14 @@ type ExperimentResult struct {
 	// experiment ran (recorded via RecordFitCacheHit/Miss).
 	FitCacheHits   int64
 	FitCacheMisses int64
+	// Solver telemetry aggregated across every fixed-point solve the
+	// experiment ran (recorded via the solve.Recorder the scheduler
+	// plants in the experiment's context).
+	Solves          int64   // fixed points solved
+	SolveIterations int64   // total kernel iterations across them
+	SolveFallbacks  int64   // damped solves that fell back to bisection
+	SolveBWLimited  int64   // outcomes in the bandwidth-limited regime
+	SolveResidual   float64 // worst |F(x)−x| among converged solves
 }
 
 // ResourceResult is the outcome of one prepared resource node.
@@ -61,19 +72,74 @@ func (rr RunResult) Failed() int {
 	return n
 }
 
-// Metrics accumulates fit-cache counters for one scheduled experiment.
-// The scheduler plants a Metrics in each experiment's context; the
-// experiment layer reports into it via RecordFitCacheHit/Miss.
+// Metrics accumulates fit-cache counters and solver telemetry for one
+// scheduled experiment. The scheduler plants a Metrics in each
+// experiment's context; the experiment layer reports fit-cache events
+// via RecordFitCacheHit/Miss, and the solve kernel reports every
+// fixed-point outcome through the solve.Recorder interface Metrics
+// implements.
 type Metrics struct {
 	hits, misses atomic.Int64
+
+	solves, iterations   atomic.Int64
+	fallbacks, bwLimited atomic.Int64
+	maxResidual          atomic.Uint64 // float64 bits; residuals are non-negative
+}
+
+// RecordSolve implements solve.Recorder: it aggregates one fixed-point
+// outcome. Safe for concurrent use (batch solves report from many
+// goroutines).
+func (m *Metrics) RecordSolve(out solve.Outcome) {
+	m.solves.Add(1)
+	m.iterations.Add(int64(out.Iterations))
+	if out.FellBack {
+		m.fallbacks.Add(1)
+	}
+	if out.Regime == solve.BandwidthLimited {
+		m.bwLimited.Add(1)
+	}
+	if !out.Converged {
+		return
+	}
+	// Lock-free max: non-negative float64s order the same as their bits.
+	bits := math.Float64bits(out.Residual)
+	for {
+		cur := m.maxResidual.Load()
+		if bits <= cur || m.maxResidual.CompareAndSwap(cur, bits) {
+			return
+		}
+	}
+}
+
+// SolveStats is a point-in-time copy of a Metrics' solver telemetry.
+type SolveStats struct {
+	Solves           int64   // fixed points solved
+	Iterations       int64   // total kernel iterations
+	Fallbacks        int64   // damped solves that fell back to bisection
+	BandwidthLimited int64   // outcomes in the bandwidth-limited regime
+	MaxResidual      float64 // worst |F(x)−x| among converged solves
+}
+
+// SolveStats snapshots the solver telemetry counters.
+func (m *Metrics) SolveStats() SolveStats {
+	return SolveStats{
+		Solves:           m.solves.Load(),
+		Iterations:       m.iterations.Load(),
+		Fallbacks:        m.fallbacks.Load(),
+		BandwidthLimited: m.bwLimited.Load(),
+		MaxResidual:      math.Float64frombits(m.maxResidual.Load()),
+	}
 }
 
 type metricsKey struct{}
 
-// WithMetrics returns a context carrying a fresh Metrics recorder.
+// WithMetrics returns a context carrying a fresh Metrics recorder, also
+// installed as the context's solve.Recorder so every evaluator call
+// under it reports its fixed-point telemetry here.
 func WithMetrics(ctx context.Context) (context.Context, *Metrics) {
 	m := &Metrics{}
-	return context.WithValue(ctx, metricsKey{}, m), m
+	ctx = context.WithValue(ctx, metricsKey{}, m)
+	return solve.WithRecorder(ctx, m), m
 }
 
 // RecordFitCacheHit notes a fit served from cache. No-op when the
@@ -244,6 +310,11 @@ func Run(ctx context.Context, reg *Registry, ids []string, opts Options) (RunRes
 			result.Artifact, result.Err = n.exp.Run(mctx)
 			result.FitCacheHits = m.hits.Load()
 			result.FitCacheMisses = m.misses.Load()
+			result.Solves = m.solves.Load()
+			result.SolveIterations = m.iterations.Load()
+			result.SolveFallbacks = m.fallbacks.Load()
+			result.SolveBWLimited = m.bwLimited.Load()
+			result.SolveResidual = math.Float64frombits(m.maxResidual.Load())
 		} else {
 			result.Err = nodeErr
 		}

@@ -31,15 +31,24 @@ type ManifestFile struct {
 
 // ManifestEntry is one experiment's record in manifest.json.
 type ManifestEntry struct {
-	ID             string         `json:"id"`
-	Title          string         `json:"title"`
-	Section        string         `json:"section,omitempty"`
-	Deps           []string       `json:"deps,omitempty"`
-	WallMS         int64          `json:"wall_ms"`
-	FitCacheHits   int64          `json:"fit_cache_hits"`
-	FitCacheMisses int64          `json:"fit_cache_misses"`
-	Files          []ManifestFile `json:"files,omitempty"`
-	Error          string         `json:"error,omitempty"`
+	ID             string   `json:"id"`
+	Title          string   `json:"title"`
+	Section        string   `json:"section,omitempty"`
+	Deps           []string `json:"deps,omitempty"`
+	WallMS         int64    `json:"wall_ms"`
+	FitCacheHits   int64    `json:"fit_cache_hits"`
+	FitCacheMisses int64    `json:"fit_cache_misses"`
+	// Solver telemetry: how the experiment's fixed points converged
+	// (counts of solves, total kernel iterations, bisection fallbacks,
+	// bandwidth-limited outcomes, and the worst converged residual).
+	// Absent for experiments that solve no fixed points.
+	Solves          int64          `json:"solves,omitempty"`
+	SolveIterations int64          `json:"solve_iterations,omitempty"`
+	SolveFallbacks  int64          `json:"solve_fallbacks,omitempty"`
+	SolveBWLimited  int64          `json:"solve_bw_limited,omitempty"`
+	SolveResidual   float64        `json:"solve_residual,omitempty"`
+	Files           []ManifestFile `json:"files,omitempty"`
+	Error           string         `json:"error,omitempty"`
 
 	index int
 }
@@ -99,14 +108,19 @@ func (s *DirSink) RecordRun(rr RunResult, workers int) {
 // Failed experiments are recorded (with the error) but write no files.
 func (s *DirSink) Write(res ExperimentResult) error {
 	ent := ManifestEntry{
-		ID:             res.ID,
-		Title:          res.Title,
-		Section:        res.Section,
-		Deps:           res.Deps,
-		WallMS:         res.Wall.Milliseconds(),
-		FitCacheHits:   res.FitCacheHits,
-		FitCacheMisses: res.FitCacheMisses,
-		index:          res.Index,
+		ID:              res.ID,
+		Title:           res.Title,
+		Section:         res.Section,
+		Deps:            res.Deps,
+		WallMS:          res.Wall.Milliseconds(),
+		FitCacheHits:    res.FitCacheHits,
+		FitCacheMisses:  res.FitCacheMisses,
+		Solves:          res.Solves,
+		SolveIterations: res.SolveIterations,
+		SolveFallbacks:  res.SolveFallbacks,
+		SolveBWLimited:  res.SolveBWLimited,
+		SolveResidual:   res.SolveResidual,
+		index:           res.Index,
 	}
 	if res.Err != nil {
 		ent.Error = res.Err.Error()
@@ -185,7 +199,7 @@ func (s *DirSink) Close() error {
 	}
 
 	var idx []byte
-	idx = append(idx, "# results index\n\nGenerated by `go run ./cmd/repro`. One .txt per experiment\n(DESIGN.md section 4), with .csv per table and .svg per chart.\n`manifest.json` records every experiment's id, title, paper section,\ndependencies, wall time, fit-cache hits, and per-file sha256 content\nhashes — compare manifests across runs to detect result drift.\n\n"...)
+	idx = append(idx, "# results index\n\nGenerated by `go run ./cmd/repro`. One .txt per experiment\n(DESIGN.md section 4), with .csv per table and .svg per chart.\n`manifest.json` records every experiment's id, title, paper section,\ndependencies, wall time, fit-cache hits, solver telemetry (fixed-point\nsolves, kernel iterations, bandwidth-limited outcomes, worst residual),\nand per-file sha256 content hashes — compare manifests across runs to\ndetect result drift.\n\n"...)
 	for _, e := range s.entries {
 		if e.Error != "" {
 			idx = append(idx, fmt.Sprintf("- %s — FAILED: %s\n", e.ID, e.Error)...)

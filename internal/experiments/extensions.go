@@ -36,12 +36,12 @@ func (s *Suite) TieredMemory(ctx context.Context) (Artifact, error) {
 	chart := report.NewChart("Eq. 5: CPI vs DRAM-tier hit fraction", "near-tier hit fraction", "CPI")
 
 	baseCPI := map[string]float64{}
-	for _, c := range classes {
-		op, err := model.Evaluate(c, base)
-		if err != nil {
-			return Artifact{}, err
-		}
-		baseCPI[c.Name] = op.CPI
+	grid, err := model.EvaluateAll(ctx, classes, []model.Platform{base})
+	if err != nil {
+		return Artifact{}, err
+	}
+	for i, c := range classes {
+		baseCPI[c.Name] = grid[i][0].CPI
 	}
 
 	series := map[string][]float64{}
@@ -61,7 +61,7 @@ func (s *Suite) TieredMemory(ctx context.Context) (Artifact, error) {
 		row := []interface{}{fmtPct(hit)}
 		cpis := map[string]float64{}
 		for _, c := range classes {
-			op, err := model.EvaluateTiered(c, tp)
+			op, err := model.EvaluateTieredCtx(ctx, c, tp)
 			if err != nil {
 				return Artifact{}, err
 			}
@@ -127,19 +127,12 @@ func (s *Suite) QueueCurveAblation(ctx context.Context) (Artifact, error) {
 
 	table := report.NewTable("Ablation: measured composite vs analytic M/M/1 and M/D/1 curves",
 		"class", "CPI (measured)", "CPI (M/M/1)", "CPI (M/D/1)", "M/M/1 diff", "M/D/1 diff")
-	for _, c := range classes {
-		opM, err := model.Evaluate(c, measured)
-		if err != nil {
-			return Artifact{}, err
-		}
-		opMM, err := model.Evaluate(c, mm1)
-		if err != nil {
-			return Artifact{}, err
-		}
-		opMD, err := model.Evaluate(c, md1)
-		if err != nil {
-			return Artifact{}, err
-		}
+	grid, err := model.EvaluateAll(ctx, classes, []model.Platform{measured, mm1, md1})
+	if err != nil {
+		return Artifact{}, err
+	}
+	for i, c := range classes {
+		opM, opMM, opMD := grid[i][0], grid[i][1], grid[i][2]
 		table.AddRow(c.Name, opM.CPI, opMM.CPI, opMD.CPI,
 			fmtPct(opMM.CPI/opM.CPI-1), fmtPct(opMD.CPI/opM.CPI-1))
 	}

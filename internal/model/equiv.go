@@ -1,6 +1,7 @@
 package model
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -44,23 +45,27 @@ const EquivDeltaLatNS = 10.0
 // finite-difference sensitivities (e.g. enterprise: 3.5%/10 ns ÷
 // ~0.7%/8 GB/s ⇒ 10 ns ≈ 39.7 GB/s); this reproduces that construction.
 func Equivalences(baseline Platform, classes []Params) ([]Equivalence, error) {
+	return EquivalencesCtx(context.Background(), baseline, classes)
+}
+
+// EquivalencesCtx is Equivalences with a context for solver telemetry.
+// The three platform variants × all classes run as one batch grid.
+func EquivalencesCtx(ctx context.Context, baseline Platform, classes []Params) ([]Equivalence, error) {
 	var out []Equivalence
 	perCore := units.BytesPerSecond(EquivDeltaBWPerCore * 1e9)
 	socketDelta := perCore * units.BytesPerSecond(baseline.Cores)
 
-	for _, c := range classes {
-		base, err := Evaluate(c, baseline)
-		if err != nil {
-			return nil, fmt.Errorf("model: equivalence baseline for %s: %w", c.Name, err)
-		}
-		lessBW, err := Evaluate(c, baseline.WithPeakBW(baseline.PeakBW-socketDelta))
-		if err != nil {
-			return nil, err
-		}
-		moreLat, err := Evaluate(c, baseline.WithCompulsory(baseline.Compulsory+units.Duration(EquivDeltaLatNS)))
-		if err != nil {
-			return nil, err
-		}
+	grid, err := EvaluateAll(ctx, classes, []Platform{
+		baseline,
+		baseline.WithPeakBW(baseline.PeakBW - socketDelta),
+		baseline.WithCompulsory(baseline.Compulsory + units.Duration(EquivDeltaLatNS)),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("model: equivalences: %w", err)
+	}
+
+	for i, c := range classes {
+		base, lessBW, moreLat := grid[i][0], grid[i][1], grid[i][2]
 
 		eq := Equivalence{Class: c.Name}
 		// Benefit of having the step rather than lacking it.

@@ -1,11 +1,12 @@
 package model
 
 import (
+	"context"
 	"errors"
 	"fmt"
-	"math"
 
 	"repro/internal/queueing"
+	"repro/internal/solve"
 	"repro/internal/units"
 )
 
@@ -35,26 +36,27 @@ type TieredPlatform struct {
 	Tiers     []Tier
 }
 
-// Validate reports configuration errors.
+// Validate reports configuration errors. Failures wrap
+// ErrInvalidPlatform for errors.Is classification.
 func (tp TieredPlatform) Validate() error {
 	if tp.Threads <= 0 || tp.Cores <= 0 || tp.CoreSpeed <= 0 || tp.LineSize <= 0 {
-		return errors.New("model: TieredPlatform core parameters must be positive")
+		return fmt.Errorf("%w: TieredPlatform core parameters must be positive", ErrInvalidPlatform)
 	}
 	if len(tp.Tiers) == 0 {
-		return errors.New("model: TieredPlatform needs at least one tier")
+		return fmt.Errorf("%w: TieredPlatform needs at least one tier", ErrInvalidPlatform)
 	}
 	sum := 0.0
 	for _, t := range tp.Tiers {
 		if t.HitFraction < 0 || t.HitFraction > 1 {
-			return fmt.Errorf("model: tier %s: HitFraction out of [0,1]", t.Name)
+			return fmt.Errorf("%w: tier %s: HitFraction out of [0,1]", ErrInvalidPlatform, t.Name)
 		}
 		if t.Compulsory <= 0 || t.PeakBW <= 0 || t.Queue == nil {
-			return fmt.Errorf("model: tier %s: incomplete configuration", t.Name)
+			return fmt.Errorf("%w: tier %s: incomplete configuration", ErrInvalidPlatform, t.Name)
 		}
 		sum += t.HitFraction
 	}
 	if sum < 0.999 || sum > 1.001 {
-		return fmt.Errorf("model: tier hit fractions sum to %.3f, want 1", sum)
+		return fmt.Errorf("%w: tier hit fractions sum to %.3f, want 1", ErrInvalidPlatform, sum)
 	}
 	return nil
 }
@@ -82,8 +84,14 @@ type TieredOperatingPoint struct {
 // depends on all tiers' loaded latencies. The coupling is through the
 // single scalar CPI, and the map c → Eq5(c) is decreasing in c (a slower
 // core demands less bandwidth, so queues shrink), so the fixed point is
-// found by bisection, like the single-tier solver.
+// found by the shared bisection kernel, like the single-tier solver.
 func EvaluateTiered(p Params, tp TieredPlatform) (TieredOperatingPoint, error) {
+	return EvaluateTieredCtx(context.Background(), p, tp)
+}
+
+// EvaluateTieredCtx is EvaluateTiered with a context for solver
+// telemetry (see EvaluateCtx).
+func EvaluateTieredCtx(ctx context.Context, p Params, tp TieredPlatform) (TieredOperatingPoint, error) {
 	if err := p.Validate(); err != nil {
 		return TieredOperatingPoint{}, err
 	}
@@ -128,48 +136,58 @@ func EvaluateTiered(p Params, tp TieredPlatform) (TieredOperatingPoint, error) {
 		hi += p.MPI() * t.HitFraction * float64(maxMP.Cycles(tp.CoreSpeed)) * p.BF
 	}
 
-	var out TieredOperatingPoint
-	const (
-		maxIter = 200
-		tol     = 1e-9
-	)
-	for iter := 0; iter < maxIter; iter++ {
-		mid := (lo + hi) / 2
-		got, tiers := eq5At(mid)
-		out.CPI = got
-		out.Tiers = tiers
-		out.Iterations = iter + 1
-		if math.Abs(got-mid) < tol || hi-lo < tol {
-			break
-		}
-		if got > mid {
-			lo = mid
-		} else {
-			hi = mid
-		}
-		if iter == maxIter-1 {
-			return out, queueing.ErrNoSolution
-		}
+	// The scenario solves in CPI space; the converged CPI is Eq. 5
+	// re-evaluated at the final midpoint, which also yields the per-tier
+	// state the limits then annotate.
+	var tiers []TierPoint
+	sc := solve.Scenario{
+		Name:    p.Name + "@" + tp.Name,
+		Unknown: "cpi",
+		Lo:      lo,
+		Hi:      hi,
+		F: func(c float64) float64 {
+			got, _ := eq5At(c)
+			return got
+		},
+		CPIOf: func(c float64) float64 {
+			got, ts := eq5At(c)
+			tiers = ts
+			return got
+		},
 	}
 	// Bandwidth-limit check per tier: a tier whose share of the traffic
 	// saturates its channels bounds the whole pipeline. As in the
 	// single-tier model, the final CPI is the worse of the
 	// latency-limited CPI and each tier's bandwidth-limited CPI (Eq. 4
-	// with BW set to the tier's available bandwidth for its share).
+	// with BW set to the tier's available bandwidth for its share). The
+	// checks chain: a clamp applied by one tier raises the CPI — and so
+	// lowers the demand — the next tier's saturation test sees.
 	for i, t := range tp.Tiers {
-		demandTotal := p.Demand(out.CPI, tp.CoreSpeed, tp.LineSize) * units.BytesPerSecond(tp.Threads)
-		d := demandTotal * units.BytesPerSecond(t.HitFraction)
-		if float64(d) >= float64(t.PeakBW)*0.999 {
-			out.BandwidthBound = true
-			out.Tiers[i].Saturated = true
+		i, t := i, t
+		sc.Limits = append(sc.Limits, func(_, cpi float64) (solve.Limit, bool) {
+			demandTotal := p.Demand(cpi, tp.CoreSpeed, tp.LineSize) * units.BytesPerSecond(tp.Threads)
+			d := demandTotal * units.BytesPerSecond(t.HitFraction)
+			if float64(d) < float64(t.PeakBW)*0.999 {
+				return solve.Limit{}, false
+			}
+			tiers[i].Saturated = true
 			share := p.BytesPerInstruction(tp.LineSize) * t.HitFraction
 			bwCPI := share * float64(tp.CoreSpeed) / (float64(t.PeakBW) / float64(tp.Threads))
-			if bwCPI > out.CPI {
-				out.CPI = bwCPI
-			}
-		}
+			return solve.Limit{Resource: t.Name, CPI: bwCPI, Bound: true}, true
+		})
 	}
-	return out, nil
+
+	solver := solve.Solver{Options: solve.Options{Tol: 1e-9, MaxIter: 200}}
+	out, err := solver.Solve(ctx, sc)
+	if err != nil {
+		return TieredOperatingPoint{Iterations: out.Iterations}, err
+	}
+	return TieredOperatingPoint{
+		CPI:            out.CPI,
+		Tiers:          tiers,
+		BandwidthBound: out.Regime == solve.BandwidthLimited,
+		Iterations:     out.Iterations,
+	}, nil
 }
 
 // PrefetchBFImprovement estimates the §VII observation that a better

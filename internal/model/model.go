@@ -45,19 +45,20 @@ type Params struct {
 	IOSZ     float64 // bytes of memory traffic per I/O event
 }
 
-// Validate reports nonsensical parameters.
+// Validate reports nonsensical parameters. Failures wrap
+// ErrInvalidParams for errors.Is classification.
 func (p Params) Validate() error {
 	switch {
 	case p.CPICache <= 0:
-		return fmt.Errorf("model: %s: CPICache must be positive", p.Name)
+		return fmt.Errorf("%w: %s: CPICache must be positive", ErrInvalidParams, p.Name)
 	case p.BF < 0 || p.BF > 1:
-		return fmt.Errorf("model: %s: BF must be in [0,1]", p.Name)
+		return fmt.Errorf("%w: %s: BF must be in [0,1]", ErrInvalidParams, p.Name)
 	case p.MPKI < 0:
-		return fmt.Errorf("model: %s: MPKI must be non-negative", p.Name)
+		return fmt.Errorf("%w: %s: MPKI must be non-negative", ErrInvalidParams, p.Name)
 	case p.WBR < 0:
-		return fmt.Errorf("model: %s: WBR must be non-negative", p.Name)
+		return fmt.Errorf("%w: %s: WBR must be non-negative", ErrInvalidParams, p.Name)
 	case p.IOPI < 0 || p.IOSZ < 0:
-		return fmt.Errorf("model: %s: I/O terms must be non-negative", p.Name)
+		return fmt.Errorf("%w: %s: I/O terms must be non-negative", ErrInvalidParams, p.Name)
 	}
 	return nil
 }

@@ -1,10 +1,11 @@
 package model
 
 import (
-	"errors"
+	"context"
 	"fmt"
 
 	"repro/internal/queueing"
+	"repro/internal/solve"
 	"repro/internal/units"
 )
 
@@ -54,26 +55,27 @@ type NUMAPlatform struct {
 	Queue queueing.Curve
 }
 
-// Validate reports configuration errors.
+// Validate reports configuration errors. Failures wrap
+// ErrInvalidPlatform for errors.Is classification.
 func (np NUMAPlatform) Validate() error {
 	switch {
 	case np.Sockets < 1:
-		return errors.New("model: NUMAPlatform.Sockets must be ≥1")
+		return fmt.Errorf("%w: NUMAPlatform.Sockets must be ≥1", ErrInvalidPlatform)
 	case np.ThreadsPerSocket <= 0 || np.CoresPerSocket <= 0:
-		return errors.New("model: NUMAPlatform thread/core counts must be positive")
+		return fmt.Errorf("%w: NUMAPlatform thread/core counts must be positive", ErrInvalidPlatform)
 	case np.CoreSpeed <= 0 || np.LineSize <= 0:
-		return errors.New("model: NUMAPlatform core parameters must be positive")
+		return fmt.Errorf("%w: NUMAPlatform core parameters must be positive", ErrInvalidPlatform)
 	case np.LocalCompulsory <= 0 || np.RemoteAdder < 0:
-		return errors.New("model: NUMAPlatform latencies must be positive")
+		return fmt.Errorf("%w: NUMAPlatform latencies must be positive", ErrInvalidPlatform)
 	case np.SocketPeakBW <= 0 || np.LinkPeakBW <= 0:
-		return errors.New("model: NUMAPlatform bandwidths must be positive")
+		return fmt.Errorf("%w: NUMAPlatform bandwidths must be positive", ErrInvalidPlatform)
 	case np.RemoteFraction < 0 || np.RemoteFraction > 1:
-		return errors.New("model: RemoteFraction must be in [0,1]")
+		return fmt.Errorf("%w: RemoteFraction must be in [0,1]", ErrInvalidPlatform)
 	case np.Queue == nil:
-		return errors.New("model: NUMAPlatform.Queue must be set")
+		return fmt.Errorf("%w: NUMAPlatform.Queue must be set", ErrInvalidPlatform)
 	}
 	if np.Sockets == 1 && np.RemoteFraction > 0 {
-		return errors.New("model: single socket cannot have remote accesses")
+		return fmt.Errorf("%w: single socket cannot have remote accesses", ErrInvalidPlatform)
 	}
 	return nil
 }
@@ -110,8 +112,14 @@ type NUMAOperatingPoint struct {
 
 // EvaluateNUMA finds the stable operating point of workload class p on a
 // symmetric NUMA platform. The scalar fixed point is the per-thread CPI,
-// found by bisection as in EvaluateTiered.
+// found by the shared bisection kernel as in EvaluateTiered.
 func EvaluateNUMA(p Params, np NUMAPlatform) (NUMAOperatingPoint, error) {
+	return EvaluateNUMACtx(context.Background(), p, np)
+}
+
+// EvaluateNUMACtx is EvaluateNUMA with a context for solver telemetry
+// (see EvaluateCtx).
+func EvaluateNUMACtx(ctx context.Context, p Params, np NUMAPlatform) (NUMAOperatingPoint, error) {
 	if err := p.Validate(); err != nil {
 		return NUMAOperatingPoint{}, err
 	}
@@ -155,39 +163,55 @@ func EvaluateNUMA(p Params, np NUMAPlatform) (NUMAOperatingPoint, error) {
 	maxMP := minMP + maxDelay + units.Duration(rf*float64(maxDelay))
 	lo, hi := p.CPIEffAt(minMP, np.CoreSpeed), p.CPIEffAt(maxMP, np.CoreSpeed)
 
-	var out NUMAOperatingPoint
-	for i := 0; i < 200; i++ {
-		mid := (lo + hi) / 2
-		got, op := at(mid)
-		out = op
-		out.CPI = got
-		if diff := got - mid; diff < 1e-9 && diff > -1e-9 || hi-lo < 1e-9 {
-			break
-		} else if diff > 0 {
-			lo = mid
-		} else {
-			hi = mid
-		}
+	// The scenario solves in CPI space; the per-socket state at the
+	// converged CPI feeds the bandwidth limits, which use the demands the
+	// solver saw (not recomputed at a clamped CPI — the DRAM and link
+	// checks ask whether the operating point itself saturates).
+	var state NUMAOperatingPoint
+	sc := solve.Scenario{
+		Name:    p.Name + "@" + np.Name,
+		Unknown: "cpi",
+		Lo:      lo,
+		Hi:      hi,
+		F: func(c float64) float64 {
+			got, _ := at(c)
+			return got
+		},
+		CPIOf: func(c float64) float64 {
+			got, op := at(c)
+			state = op
+			return got
+		},
+		Limits: []solve.LimitFunc{
+			// Bandwidth limits: DRAM per socket, then the link for the
+			// remote share.
+			func(_, _ float64) (solve.Limit, bool) {
+				if float64(state.DRAMDemand) < float64(np.SocketPeakBW)*0.999 {
+					return solve.Limit{}, false
+				}
+				bwCPI := p.BytesPerInstruction(np.LineSize) * float64(np.CoreSpeed) /
+					(float64(np.SocketPeakBW) / float64(np.ThreadsPerSocket))
+				return solve.Limit{Resource: "dram", CPI: bwCPI, Bound: true}, true
+			},
+			func(_, _ float64) (solve.Limit, bool) {
+				if rf <= 0 || float64(state.LinkDemand) < float64(np.LinkPeakBW)*0.999 {
+					return solve.Limit{}, false
+				}
+				bwCPI := p.BytesPerInstruction(np.LineSize) * rf * float64(np.CoreSpeed) /
+					(float64(np.LinkPeakBW) / float64(np.ThreadsPerSocket))
+				return solve.Limit{Resource: "link", CPI: bwCPI, Bound: true}, true
+			},
+		},
 	}
 
-	// Bandwidth limits: DRAM per socket, then the link for remote share.
-	if float64(out.DRAMDemand) >= float64(np.SocketPeakBW)*0.999 {
-		out.BandwidthBound = true
-		bwCPI := p.BytesPerInstruction(np.LineSize) * float64(np.CoreSpeed) /
-			(float64(np.SocketPeakBW) / float64(np.ThreadsPerSocket))
-		if bwCPI > out.CPI {
-			out.CPI = bwCPI
-		}
+	solver := solve.Solver{Options: solve.Options{Tol: 1e-9, MaxIter: 200}}
+	out, err := solver.Solve(ctx, sc)
+	if err != nil {
+		return NUMAOperatingPoint{}, err
 	}
-	if rf > 0 && float64(out.LinkDemand) >= float64(np.LinkPeakBW)*0.999 {
-		out.BandwidthBound = true
-		bwCPI := p.BytesPerInstruction(np.LineSize) * rf * float64(np.CoreSpeed) /
-			(float64(np.LinkPeakBW) / float64(np.ThreadsPerSocket))
-		if bwCPI > out.CPI {
-			out.CPI = bwCPI
-		}
-	}
-	return out, nil
+	state.CPI = out.CPI
+	state.BandwidthBound = out.Regime == solve.BandwidthLimited
+	return state, nil
 }
 
 // DualSocketBaseline builds the two-socket version of the paper's

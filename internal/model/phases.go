@@ -1,6 +1,7 @@
 package model
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -95,8 +96,15 @@ func CombinePhases(name string, phases []Phase) (Params, error) {
 // PhaseCPI evaluates each phase independently on a platform and combines
 // the phase CPIs by instruction weight — the §IV.D procedure when the
 // single-steady-state assumption does not hold. It returns the weighted
-// CPI and the per-phase operating points.
+// CPI and the per-phase operating points. Each phase is one scenario of
+// the shared solve kernel (via Evaluate).
 func PhaseCPI(phases []Phase, pl Platform) (float64, []OperatingPoint, error) {
+	return PhaseCPICtx(context.Background(), phases, pl)
+}
+
+// PhaseCPICtx is PhaseCPI with a context for solver telemetry (see
+// EvaluateCtx).
+func PhaseCPICtx(ctx context.Context, phases []Phase, pl Platform) (float64, []OperatingPoint, error) {
 	if len(phases) == 0 {
 		return 0, nil, errors.New("model: PhaseCPI of no phases")
 	}
@@ -104,7 +112,7 @@ func PhaseCPI(phases []Phase, pl Platform) (float64, []OperatingPoint, error) {
 	var ops []OperatingPoint
 	var wSum float64
 	for _, ph := range phases {
-		op, err := Evaluate(ph.Params, pl)
+		op, err := EvaluateCtx(ctx, ph.Params, pl)
 		if err != nil {
 			return 0, nil, err
 		}

@@ -1,6 +1,7 @@
 package model
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -30,31 +31,32 @@ type Sweep struct {
 	Points   []SweepPoint
 }
 
-func runSweep(baseline Platform, classes []Params, variants []Platform, delta func(Platform) float64) (Sweep, error) {
+func runSweep(ctx context.Context, baseline Platform, classes []Params, variants []Platform, delta func(Platform) float64) (Sweep, error) {
 	if len(classes) == 0 {
 		return Sweep{}, errors.New("model: sweep needs at least one class")
 	}
+	// One batch over the whole classes × (baseline + variants) grid: the
+	// kernel's SolveAll spreads the points over a worker pool, which is
+	// where sweep-sized grids (3 classes × 10 platforms) win wall clock.
+	platforms := append([]Platform{baseline}, variants...)
+	grid, err := EvaluateAll(ctx, classes, platforms)
+	if err != nil {
+		return Sweep{}, fmt.Errorf("model: sweep: %w", err)
+	}
 	base := map[string]OperatingPoint{}
-	for _, c := range classes {
-		op, err := Evaluate(c, baseline)
-		if err != nil {
-			return Sweep{}, fmt.Errorf("baseline %s: %w", c.Name, err)
-		}
-		base[c.Name] = op
+	for i, c := range classes {
+		base[c.Name] = grid[i][0]
 	}
 	sw := Sweep{Baseline: baseline, Classes: classes}
-	for _, pl := range variants {
+	for j, pl := range variants {
 		pt := SweepPoint{
 			Platform:     pl,
 			DeltaPerCore: delta(pl),
 			Ops:          map[string]OperatingPoint{},
 			CPIIncrease:  map[string]float64{},
 		}
-		for _, c := range classes {
-			op, err := Evaluate(c, pl)
-			if err != nil {
-				return Sweep{}, fmt.Errorf("%s on %s: %w", c.Name, pl.Name, err)
-			}
+		for i, c := range classes {
+			op := grid[i][j+1]
 			pt.Ops[c.Name] = op
 			pt.CPIIncrease[c.Name] = op.CPI/base[c.Name].CPI - 1
 		}
@@ -102,6 +104,12 @@ func PaperBandwidthVariants() []BandwidthVariant {
 // (Fig. 8). DeltaPerCore is (variant − baseline) deliverable GB/s per
 // core, so the baseline sits at 0 and reductions are negative.
 func BandwidthSweep(baseline Platform, classes []Params, variants []BandwidthVariant) (Sweep, error) {
+	return BandwidthSweepCtx(context.Background(), baseline, classes, variants)
+}
+
+// BandwidthSweepCtx is BandwidthSweep with a context for solver
+// telemetry and cancellation of the point grid.
+func BandwidthSweepCtx(ctx context.Context, baseline Platform, classes []Params, variants []BandwidthVariant) (Sweep, error) {
 	basePerCore := baseline.PerCoreBW().GBps()
 	pls := make([]Platform, len(variants))
 	for i, v := range variants {
@@ -109,7 +117,7 @@ func BandwidthSweep(baseline Platform, classes []Params, variants []BandwidthVar
 		pl.Name = v.Label
 		pls[i] = pl
 	}
-	return runSweep(baseline, classes, pls, func(pl Platform) float64 {
+	return runSweep(ctx, baseline, classes, pls, func(pl Platform) float64 {
 		return pl.PerCoreBW().GBps() - basePerCore
 	})
 }
@@ -117,6 +125,12 @@ func BandwidthSweep(baseline Platform, classes []Params, variants []BandwidthVar
 // LatencySweep evaluates the classes across compulsory-latency increases
 // (Fig. 10): steps of stepNS from the baseline, inclusive of 0.
 func LatencySweep(baseline Platform, classes []Params, steps int, stepNS float64) (Sweep, error) {
+	return LatencySweepCtx(context.Background(), baseline, classes, steps, stepNS)
+}
+
+// LatencySweepCtx is LatencySweep with a context for solver telemetry
+// and cancellation of the point grid.
+func LatencySweepCtx(ctx context.Context, baseline Platform, classes []Params, steps int, stepNS float64) (Sweep, error) {
 	if steps < 1 {
 		return Sweep{}, errors.New("model: LatencySweep needs at least one step")
 	}
@@ -127,7 +141,7 @@ func LatencySweep(baseline Platform, classes []Params, steps int, stepNS float64
 		pl.Name = fmt.Sprintf("+%dns", int(float64(i)*stepNS))
 		pls = append(pls, pl)
 	}
-	return runSweep(baseline, classes, pls, func(pl Platform) float64 {
+	return runSweep(ctx, baseline, classes, pls, func(pl Platform) float64 {
 		return float64(pl.Compulsory - baseline.Compulsory)
 	})
 }

@@ -19,12 +19,15 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/solve"
 	"repro/internal/units"
 )
 
 // ErrNoSolution is returned by the fixed-point solver when it cannot find
 // a stable loaded latency (should not occur for utilization < 1 inputs).
-var ErrNoSolution = errors.New("queueing: fixed point iteration did not converge")
+// It is the solve kernel's ErrNoConvergence, so errors.Is matches across
+// both layers regardless of which one a caller imported.
+var ErrNoSolution = solve.ErrNoConvergence
 
 // Curve maps bandwidth utilization in [0,1] to queuing delay.
 type Curve interface {

@@ -297,13 +297,17 @@ func TestSolveDegenerateCurve(t *testing.T) {
 }
 
 func TestSolveOptionsDefaults(t *testing.T) {
-	o := SolveOptions{}.withDefaults()
-	if o.Damping != 0.5 || o.TolNS <= 0 || o.MaxIter <= 0 {
-		t.Fatalf("defaults = %+v", o)
+	// Defaulting lives in the solve kernel now; verify behaviorally that
+	// zero and out-of-range options are replaced, not used literally — a
+	// literal MaxIter of -1 would run zero iterations and always fail,
+	// and a literal damping of 2 overshoots instead of converging.
+	sys := System{Compulsory: 75, PeakBW: 40e9, Curve: MM1{Service: 6}}
+	demand := func(units.Duration) units.BytesPerSecond { return 20e9 }
+	if _, err := Solve(sys, demand, SolveOptions{TolNS: -1, MaxIter: -1, Damping: -1}); err != nil {
+		t.Fatalf("zero/out-of-range options must default: %v", err)
 	}
-	o2 := SolveOptions{Damping: 2}.withDefaults()
-	if o2.Damping != 0.5 {
-		t.Fatalf("out-of-range damping must default, got %v", o2.Damping)
+	if _, err := SolveDamped(sys, demand, SolveOptions{Damping: 2}); err != nil {
+		t.Fatalf("out-of-range damping must default: %v", err)
 	}
 }
 

@@ -1,8 +1,9 @@
 package queueing
 
 import (
-	"math"
+	"context"
 
+	"repro/internal/solve"
 	"repro/internal/units"
 )
 
@@ -36,6 +37,23 @@ func (s System) Utilization(demand units.BytesPerSecond) float64 {
 	return u
 }
 
+// SaturationLimit is the utilization at/above which the system should be
+// treated as bandwidth bound: the curve's own stability limit when it
+// declares one (Measured curves calibrate it from data), 0.95 otherwise.
+func (s System) SaturationLimit() float64 {
+	type limiter interface{ ULimit() float64 }
+	if l, ok := s.Curve.(limiter); ok {
+		return l.ULimit()
+	}
+	return 0.95
+}
+
+// Saturated reports whether utilization u is at/above the curve's stable
+// limit, i.e. the workload should be treated as bandwidth bound.
+func (s System) Saturated(u float64) bool {
+	return u >= s.SaturationLimit()-1e-9
+}
+
 // DemandFunc maps a miss penalty (loaded latency) to the bandwidth the
 // workload would demand at that penalty. In the paper's model this is
 // Eq. 4 evaluated at CPI_eff(MP) from Eq. 1: higher penalty → higher CPI →
@@ -64,17 +82,54 @@ type SolveOptions struct {
 	MaxIter int
 }
 
-func (o SolveOptions) withDefaults() SolveOptions {
-	if o.Damping <= 0 || o.Damping > 1 {
-		o.Damping = 0.5
+// Scenario composes the system and demand function into the solve
+// kernel's form: the unknown is the miss penalty in nanoseconds,
+// bracketed between the compulsory latency (no queuing) and the
+// latency at the curve's maximum stable delay, with
+// F(mp) = LoadedLatency(demand(mp)). Adapters in internal/model extend
+// the returned scenario with their CPI conversion and bandwidth limits;
+// this package's Solve uses it bare.
+func (s System) Scenario(name string, demand DemandFunc) solve.Scenario {
+	return solve.Scenario{
+		Name:    name,
+		Unknown: "miss-penalty-ns",
+		Lo:      float64(s.Compulsory),
+		Hi:      float64(s.Compulsory + s.Curve.MaxStableDelay()),
+		F: func(mp float64) float64 {
+			return float64(s.LoadedLatency(demand(units.Duration(mp))))
+		},
 	}
-	if o.TolNS <= 0 {
-		o.TolNS = 1e-4
+}
+
+// solution converts a kernel outcome back into the queueing-layer
+// operating point, re-evaluating demand at the converged penalty.
+// Saturated is only meaningful on converged solutions, matching the
+// historical solver (an exhausted iteration reports its last state
+// without a saturation verdict).
+func (s System) solution(out solve.Outcome, demand DemandFunc) Solution {
+	mp := units.Duration(out.X)
+	d := demand(mp)
+	sol := Solution{
+		MissPenalty: mp,
+		Queue:       mp - s.Compulsory,
+		Demand:      d,
+		Utilization: s.Utilization(d),
+		Iterations:  out.Iterations,
 	}
-	if o.MaxIter <= 0 {
-		o.MaxIter = 10_000
+	if out.Converged {
+		sol.Saturated = s.Saturated(sol.Utilization)
 	}
-	return o
+	return sol
+}
+
+// kernel maps SolveOptions onto the shared solver.
+func kernel(o SolveOptions, m solve.Method) solve.Solver {
+	return solve.Solver{Options: solve.Options{
+		Tol:     o.TolNS,
+		MaxIter: o.MaxIter,
+		Damping: o.Damping,
+		Method:  m,
+	}}
 }
 
 // Solve finds the self-consistent loaded latency: the MP such that the
@@ -89,47 +144,19 @@ func (o SolveOptions) withDefaults() SolveOptions {
 // Eq. 4 guarantee. Bisection converges where damped iteration oscillates
 // on the steep part of the queuing curve near saturation (see
 // SolveDamped, kept for the solver ablation).
+//
+// The iteration itself lives in internal/solve; this is the
+// queueing-typed adapter over that kernel.
 func Solve(sys System, demand DemandFunc, opts SolveOptions) (Solution, error) {
-	o := opts.withDefaults()
-	lo := sys.Compulsory
-	hi := sys.Compulsory + sys.Curve.MaxStableDelay()
+	return SolveCtx(context.Background(), sys, demand, opts)
+}
 
-	residual := func(mp units.Duration) (float64, Solution) {
-		d := demand(mp)
-		next := sys.LoadedLatency(d)
-		return float64(next) - float64(mp), Solution{
-			MissPenalty: mp,
-			Queue:       mp - sys.Compulsory,
-			Demand:      d,
-			Utilization: sys.Utilization(d),
-		}
-	}
-
-	// Degenerate curve (no queuing at all): the answer is the left end.
-	if hi <= lo {
-		_, sol := residual(lo)
-		sol.Iterations = 1
-		sol.Saturated = saturated(sys, sol.Utilization)
-		return sol, nil
-	}
-
-	var sol Solution
-	for i := 0; i < o.MaxIter; i++ {
-		mid := units.Duration((float64(lo) + float64(hi)) / 2)
-		f, s := residual(mid)
-		sol = s
-		sol.Iterations = i + 1
-		if math.Abs(f) < o.TolNS || float64(hi)-float64(lo) < o.TolNS {
-			sol.Saturated = saturated(sys, sol.Utilization)
-			return sol, nil
-		}
-		if f > 0 {
-			lo = mid
-		} else {
-			hi = mid
-		}
-	}
-	return sol, ErrNoSolution
+// SolveCtx is Solve with a context: a solve.Recorder planted in ctx
+// observes the solver telemetry (iterations, residual, convergence) for
+// this fixed point.
+func SolveCtx(ctx context.Context, sys System, demand DemandFunc, opts SolveOptions) (Solution, error) {
+	out, err := kernel(opts, solve.Bisect).Solve(ctx, sys.Scenario("queueing", demand))
+	return sys.solution(out, demand), err
 }
 
 // SolveDamped is the direct damped fixed-point iteration (the "iterative
@@ -138,37 +165,6 @@ func Solve(sys System, demand DemandFunc, opts SolveOptions) (Solution, error) {
 // production path, and this variant exists for the solver ablation
 // (DESIGN.md §5).
 func SolveDamped(sys System, demand DemandFunc, opts SolveOptions) (Solution, error) {
-	o := opts.withDefaults()
-	mp := sys.Compulsory
-	var sol Solution
-	for i := 0; i < o.MaxIter; i++ {
-		d := demand(mp)
-		next := sys.LoadedLatency(d)
-		sol = Solution{
-			MissPenalty: mp,
-			Queue:       mp - sys.Compulsory,
-			Demand:      d,
-			Utilization: sys.Utilization(d),
-			Iterations:  i + 1,
-		}
-		if math.Abs(float64(next)-float64(mp)) < o.TolNS {
-			sol.MissPenalty = next
-			sol.Queue = next - sys.Compulsory
-			sol.Saturated = saturated(sys, sol.Utilization)
-			return sol, nil
-		}
-		mp = units.Duration(float64(mp) + o.Damping*(float64(next)-float64(mp)))
-	}
-	return sol, ErrNoSolution
-}
-
-// saturated reports whether utilization is at/above the curve's stable
-// limit, i.e. the workload should be treated as bandwidth bound.
-func saturated(sys System, u float64) bool {
-	type limiter interface{ ULimit() float64 }
-	lim := 0.95
-	if l, ok := sys.Curve.(limiter); ok {
-		lim = l.ULimit()
-	}
-	return u >= lim-1e-9
+	out, err := kernel(opts, solve.Damped).Solve(context.Background(), sys.Scenario("queueing-damped", demand))
+	return sys.solution(out, demand), err
 }
