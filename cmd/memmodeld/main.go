@@ -1,0 +1,85 @@
+// Command memmodeld serves the analytic performance model over
+// HTTP/JSON: single-tier (Eq. 1/4), tiered (Eq. 5), and NUMA
+// evaluations plus latency/bandwidth sweep grids, with a scenario cache,
+// admission control, and live telemetry on /metrics. See the README's
+// "Serving" section for the API and curl examples.
+//
+// Usage:
+//
+//	memmodeld [-addr :8080] [-cache 4096] [-concurrency N] [-queue 64]
+//	          [-timeout 10s] [-drain-timeout 30s]
+//
+// SIGTERM or SIGINT triggers a graceful drain: the daemon stops
+// accepting connections, fails /healthz so load balancers route away,
+// finishes in-flight evaluations, prints a final stats line, and exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		cache   = flag.Int("cache", 4096, "scenario cache capacity (entries)")
+		conc    = flag.Int("concurrency", runtime.GOMAXPROCS(0), "max concurrent evaluations")
+		queue   = flag.Int("queue", 64, "admission queue depth beyond the concurrency limit")
+		timeout = flag.Duration("timeout", 10*time.Second, "per-request evaluation deadline")
+		drain   = flag.Duration("drain-timeout", 30*time.Second, "graceful drain deadline on SIGTERM")
+	)
+	flag.Parse()
+
+	srv := serve.New(serve.Config{
+		CacheSize:      *cache,
+		MaxConcurrent:  *conc,
+		MaxQueue:       *queue,
+		RequestTimeout: *timeout,
+	})
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "memmodeld: listening on %s (cache %d, concurrency %d, queue %d, timeout %v)\n",
+		*addr, *cache, *conc, *queue, *timeout)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
+	defer stop()
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "memmodeld: %v\n", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	stop() // restore default signal handling: a second signal kills hard
+
+	// Graceful drain: stop accepting, fail /healthz, finish in-flight
+	// work, then flush the final stats.
+	fmt.Fprintln(os.Stderr, "memmodeld: draining")
+	srv.Drain()
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := hs.Shutdown(dctx); err != nil {
+		fmt.Fprintf(os.Stderr, "memmodeld: drain incomplete: %v\n", err)
+		fmt.Fprintf(os.Stderr, "memmodeld: final stats: %s\n", srv.StatsLine())
+		os.Exit(1)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "memmodeld: %v\n", err)
+	}
+	fmt.Fprintf(os.Stderr, "memmodeld: final stats: %s\n", srv.StatsLine())
+}

@@ -3,7 +3,6 @@ package engine
 import (
 	"context"
 	"fmt"
-	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -81,34 +80,11 @@ func (rr RunResult) Failed() int {
 type Metrics struct {
 	hits, misses atomic.Int64
 
-	solves, iterations   atomic.Int64
-	fallbacks, bwLimited atomic.Int64
-	maxResidual          atomic.Uint64 // float64 bits; residuals are non-negative
-}
-
-// RecordSolve implements solve.Recorder: it aggregates one fixed-point
-// outcome. Safe for concurrent use (batch solves report from many
-// goroutines).
-func (m *Metrics) RecordSolve(out solve.Outcome) {
-	m.solves.Add(1)
-	m.iterations.Add(int64(out.Iterations))
-	if out.FellBack {
-		m.fallbacks.Add(1)
-	}
-	if out.Regime == solve.BandwidthLimited {
-		m.bwLimited.Add(1)
-	}
-	if !out.Converged {
-		return
-	}
-	// Lock-free max: non-negative float64s order the same as their bits.
-	bits := math.Float64bits(out.Residual)
-	for {
-		cur := m.maxResidual.Load()
-		if bits <= cur || m.maxResidual.CompareAndSwap(cur, bits) {
-			return
-		}
-	}
+	// The embedded Aggregate accumulates the solver telemetry and
+	// promotes RecordSolve, which is what makes Metrics a
+	// solve.Recorder. The serving daemon shares the same Aggregate
+	// implementation for its process-wide /metrics counters.
+	solve.Aggregate
 }
 
 // SolveStats is a point-in-time copy of a Metrics' solver telemetry.
@@ -122,12 +98,13 @@ type SolveStats struct {
 
 // SolveStats snapshots the solver telemetry counters.
 func (m *Metrics) SolveStats() SolveStats {
+	st := m.Aggregate.Stats()
 	return SolveStats{
-		Solves:           m.solves.Load(),
-		Iterations:       m.iterations.Load(),
-		Fallbacks:        m.fallbacks.Load(),
-		BandwidthLimited: m.bwLimited.Load(),
-		MaxResidual:      math.Float64frombits(m.maxResidual.Load()),
+		Solves:           st.Solves,
+		Iterations:       st.Iterations,
+		Fallbacks:        st.Fallbacks,
+		BandwidthLimited: st.BandwidthLimited,
+		MaxResidual:      st.MaxResidual,
 	}
 }
 
@@ -310,11 +287,12 @@ func Run(ctx context.Context, reg *Registry, ids []string, opts Options) (RunRes
 			result.Artifact, result.Err = n.exp.Run(mctx)
 			result.FitCacheHits = m.hits.Load()
 			result.FitCacheMisses = m.misses.Load()
-			result.Solves = m.solves.Load()
-			result.SolveIterations = m.iterations.Load()
-			result.SolveFallbacks = m.fallbacks.Load()
-			result.SolveBWLimited = m.bwLimited.Load()
-			result.SolveResidual = math.Float64frombits(m.maxResidual.Load())
+			st := m.Aggregate.Stats()
+			result.Solves = st.Solves
+			result.SolveIterations = st.Iterations
+			result.SolveFallbacks = st.Fallbacks
+			result.SolveBWLimited = st.BandwidthLimited
+			result.SolveResidual = st.MaxResidual
 		} else {
 			result.Err = nodeErr
 		}

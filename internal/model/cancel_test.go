@@ -1,0 +1,71 @@
+package model
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/queueing"
+	"repro/internal/units"
+)
+
+// countingCurve counts Delay evaluations, which proxies for fixed-point
+// work done: every F evaluation of the single-tier scenario goes
+// through the platform's curve.
+type countingCurve struct {
+	calls atomic.Int64
+	inner queueing.Curve
+}
+
+func (c *countingCurve) Delay(u float64) units.Duration {
+	c.calls.Add(1)
+	return c.inner.Delay(u)
+}
+
+func (c *countingCurve) MaxStableDelay() units.Duration { return c.inner.MaxStableDelay() }
+
+// A cancelled context must stop EvaluateAll before any solving happens.
+func TestEvaluateAllCancelledBeforeWork(t *testing.T) {
+	curve := &countingCurve{inner: queueing.MM1{Service: 6, ULimit: 0.95}}
+	pl := BaselinePlatform(curve)
+	p := Params{Name: "w", CPICache: 0.91, BF: 0.21, MPKI: 5.5, WBR: 0.92}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	startCalls := curve.calls.Load() // BaselinePlatform itself may probe the curve
+	_, err := EvaluateAll(ctx, []Params{p}, []Platform{pl, pl, pl})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("EvaluateAll on cancelled ctx: err = %v, want context.Canceled", err)
+	}
+	if got := curve.calls.Load() - startCalls; got != 0 {
+		t.Errorf("cancelled EvaluateAll still evaluated the curve %d times", got)
+	}
+}
+
+// A sweep driven by a cancelled deadline context must report the
+// cancellation rather than a partial grid.
+func TestLatencySweepCancelled(t *testing.T) {
+	pl := BaselinePlatform(queueing.MM1{Service: 6, ULimit: 0.95})
+	p := Params{Name: "w", CPICache: 0.91, BF: 0.21, MPKI: 5.5, WBR: 0.92}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := LatencySweepCtx(ctx, pl, []Params{p}, 50, 5)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("LatencySweepCtx on cancelled ctx: err = %v, want context.Canceled", err)
+	}
+}
+
+// Sanity: the same grid solves normally under a live context.
+func TestEvaluateAllLiveContext(t *testing.T) {
+	pl := BaselinePlatform(queueing.MM1{Service: 6, ULimit: 0.95})
+	p := Params{Name: "w", CPICache: 0.91, BF: 0.21, MPKI: 5.5, WBR: 0.92}
+	grid, err := EvaluateAll(context.Background(), []Params{p}, []Platform{pl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grid[0][0].CPI <= 0 {
+		t.Errorf("CPI = %v, want positive", grid[0][0].CPI)
+	}
+}

@@ -1,0 +1,116 @@
+package model
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strconv"
+	"strings"
+
+	"repro/internal/queueing"
+)
+
+// Canonical scenario serialization. The serving layer caches solved
+// operating points keyed by the *mathematical* content of a request, so
+// two requests that describe the same fixed-point problem must produce
+// the same key no matter how they were spelled. The canonicalization
+// rules:
+//
+//   - Names (Params.Name, platform names, tier names) are excluded: they
+//     label telemetry, not the solved problem. "bigdata" requested by
+//     class and the same six numbers entered by hand share a cache line.
+//   - Every float is rendered with strconv's exact hexadecimal format,
+//     so distinct bit patterns never collide and equal values never
+//     diverge through decimal rounding.
+//   - A queuing curve is fingerprinted behaviorally: its Delay sampled
+//     on a fixed utilization ladder plus its MaxStableDelay (and ULimit
+//     when the curve declares one). Two Curve implementations that agree
+//     at every probe are treated as the same curve — the probe ladder is
+//     the resolution limit of the cache key, documented in DESIGN.md.
+//
+// ScenarioKey folds canonical strings into a compact FNV-1a hash for
+// use as a map key.
+
+// curveProbes is the utilization ladder for fingerprinting curves. It is
+// dense at the top because queuing curves carry their shape near
+// saturation.
+var curveProbes = []float64{
+	0, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40, 0.45, 0.50,
+	0.55, 0.60, 0.65, 0.70, 0.75, 0.80, 0.85, 0.90, 0.92, 0.94,
+	0.95, 0.96, 0.97, 0.98, 0.99, 1,
+}
+
+// hexf renders f in the exact hexadecimal floating-point format.
+func hexf(f float64) string { return strconv.FormatFloat(f, 'x', -1, 64) }
+
+// CanonicalCurve fingerprints a queuing curve by probing it on the
+// utilization ladder.
+func CanonicalCurve(c queueing.Curve) string {
+	var b strings.Builder
+	b.WriteString("curve{")
+	for i, u := range curveProbes {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(hexf(float64(c.Delay(u))))
+	}
+	fmt.Fprintf(&b, "|max=%s", hexf(float64(c.MaxStableDelay())))
+	if l, ok := c.(interface{ ULimit() float64 }); ok {
+		fmt.Fprintf(&b, "|ulimit=%s", hexf(l.ULimit()))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// CanonicalParams serializes the Eq. 1/4 components of p, excluding its
+// name.
+func CanonicalParams(p Params) string {
+	return fmt.Sprintf("params{cpicache=%s,bf=%s,mpki=%s,wbr=%s,iopi=%s,iosz=%s}",
+		hexf(p.CPICache), hexf(p.BF), hexf(p.MPKI), hexf(p.WBR), hexf(p.IOPI), hexf(p.IOSZ))
+}
+
+// CanonicalPlatform serializes the supply side of pl, excluding its
+// name.
+func CanonicalPlatform(pl Platform) string {
+	return fmt.Sprintf("platform{threads=%d,cores=%d,cps=%s,ls=%s,comp=%s,peak=%s,%s}",
+		pl.Threads, pl.Cores, hexf(float64(pl.CoreSpeed)), hexf(float64(pl.LineSize)),
+		hexf(float64(pl.Compulsory)), hexf(float64(pl.PeakBW)), CanonicalCurve(pl.Queue))
+}
+
+// CanonicalTiered serializes a tiered platform; tier order is
+// significant (it is the order the bandwidth-limit clamps chain in).
+func CanonicalTiered(tp TieredPlatform) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "tiered{threads=%d,cores=%d,cps=%s,ls=%s,tiers=[",
+		tp.Threads, tp.Cores, hexf(float64(tp.CoreSpeed)), hexf(float64(tp.LineSize)))
+	for i, t := range tp.Tiers {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		fmt.Fprintf(&b, "hf=%s,comp=%s,peak=%s,%s",
+			hexf(t.HitFraction), hexf(float64(t.Compulsory)), hexf(float64(t.PeakBW)),
+			CanonicalCurve(t.Queue))
+	}
+	b.WriteString("]}")
+	return b.String()
+}
+
+// CanonicalNUMA serializes a NUMA platform, excluding its name.
+func CanonicalNUMA(np NUMAPlatform) string {
+	return fmt.Sprintf("numa{sockets=%d,tps=%d,cps_count=%d,cps=%s,ls=%s,local=%s,adder=%s,sockbw=%s,linkbw=%s,rf=%s,%s}",
+		np.Sockets, np.ThreadsPerSocket, np.CoresPerSocket,
+		hexf(float64(np.CoreSpeed)), hexf(float64(np.LineSize)),
+		hexf(float64(np.LocalCompulsory)), hexf(float64(np.RemoteAdder)),
+		hexf(float64(np.SocketPeakBW)), hexf(float64(np.LinkPeakBW)),
+		hexf(np.RemoteFraction), CanonicalCurve(np.Queue))
+}
+
+// ScenarioKey folds canonical strings (and any extra discriminators,
+// such as a sweep axis) into a compact hash key.
+func ScenarioKey(parts ...string) string {
+	h := fnv.New64a()
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0}) // separator so part boundaries matter
+	}
+	return strconv.FormatUint(h.Sum64(), 16)
+}

@@ -1,0 +1,101 @@
+package model
+
+import (
+	"testing"
+
+	"repro/internal/queueing"
+	"repro/internal/units"
+)
+
+func hashTestPlatform(curve queueing.Curve) Platform {
+	pl := BaselinePlatform(queueing.MM1{Service: 6, ULimit: 0.95})
+	if curve != nil {
+		pl.Queue = curve
+	}
+	return pl
+}
+
+func TestCanonicalExcludesNames(t *testing.T) {
+	p := Params{Name: "bigdata", CPICache: 0.91, BF: 0.21, MPKI: 5.5, WBR: 0.92}
+	q := p
+	q.Name = "hand-entered"
+	if CanonicalParams(p) != CanonicalParams(q) {
+		t.Error("params canonical form should not depend on Name")
+	}
+	pl := hashTestPlatform(nil)
+	pl2 := pl
+	pl2.Name = "other"
+	if CanonicalPlatform(pl) != CanonicalPlatform(pl2) {
+		t.Error("platform canonical form should not depend on Name")
+	}
+}
+
+func TestCanonicalSeparatesValues(t *testing.T) {
+	p := Params{Name: "w", CPICache: 0.91, BF: 0.21, MPKI: 5.5, WBR: 0.92}
+	q := p
+	q.MPKI = 5.5000001
+	if CanonicalParams(p) == CanonicalParams(q) {
+		t.Error("distinct MPKI must change the canonical form")
+	}
+	pl := hashTestPlatform(nil)
+	pl2 := pl
+	pl2.Compulsory += units.Nanosecond
+	if CanonicalPlatform(pl) == CanonicalPlatform(pl2) {
+		t.Error("distinct compulsory latency must change the canonical form")
+	}
+}
+
+func TestCanonicalCurveDistinguishesShapes(t *testing.T) {
+	mm1 := queueing.MM1{Service: 6, ULimit: 0.95}
+	md1 := queueing.MD1{Service: 6, ULimit: 0.95}
+	if CanonicalCurve(mm1) == CanonicalCurve(md1) {
+		t.Error("MM1 and MD1 with equal parameters must fingerprint differently")
+	}
+	if CanonicalCurve(mm1) != CanonicalCurve(queueing.MM1{Service: 6, ULimit: 0.95}) {
+		t.Error("equal curves must fingerprint equally")
+	}
+	m1, err := queueing.NewMeasured([]float64{0, 0.5, 0.95}, []units.Duration{0, 10, 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := queueing.NewMeasured([]float64{0, 0.5, 0.95}, []units.Duration{0, 10, 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if CanonicalCurve(m1) != CanonicalCurve(m2) {
+		t.Error("identical measured curves must fingerprint equally")
+	}
+}
+
+func TestScenarioKeyBoundaries(t *testing.T) {
+	// The part separator must prevent "ab"+"c" colliding with "a"+"bc".
+	if ScenarioKey("ab", "c") == ScenarioKey("a", "bc") {
+		t.Error("part boundaries must be significant")
+	}
+	if ScenarioKey("x") != ScenarioKey("x") {
+		t.Error("keys must be deterministic")
+	}
+}
+
+func TestCanonicalTieredAndNUMA(t *testing.T) {
+	curve := queueing.MM1{Service: 6, ULimit: 0.95}
+	tp := TieredPlatform{
+		Name: "tp", Threads: 16, Cores: 8, CoreSpeed: units.GHzOf(2.5), LineSize: 64,
+		Tiers: []Tier{
+			{Name: "near", HitFraction: 0.8, Compulsory: 75, PeakBW: units.GBpsOf(42), Queue: curve},
+			{Name: "far", HitFraction: 0.2, Compulsory: 300, PeakBW: units.GBpsOf(10), Queue: curve},
+		},
+	}
+	tp2 := tp
+	tp2.Tiers = append([]Tier(nil), tp.Tiers...)
+	tp2.Tiers[1].PeakBW = units.GBpsOf(12)
+	if CanonicalTiered(tp) == CanonicalTiered(tp2) {
+		t.Error("tier bandwidth must change the tiered canonical form")
+	}
+
+	np := DualSocketBaseline(curve)
+	np2 := np.WithRemoteFraction(0.3)
+	if CanonicalNUMA(np) == CanonicalNUMA(np2) {
+		t.Error("remote fraction must change the NUMA canonical form")
+	}
+}

@@ -250,6 +250,12 @@ func EvaluateAll(ctx context.Context, classes []Params, platforms []Platform) ([
 	scs := make([]solve.Scenario, 0, len(classes)*len(platforms))
 	for _, p := range classes {
 		for _, pl := range platforms {
+			// Abandoned grids (a server-side deadline, a disconnected
+			// sweep client) stop between points rather than validating
+			// and queueing the rest of the cross product.
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			c, err := newPlatformCase(p, pl)
 			if err != nil {
 				return nil, err

@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// ErrOverloaded is returned by Admission.Acquire when both the solve
+// semaphore and the wait queue are full. The HTTP layer maps it to
+// 429 with a Retry-After header — the daemon sheds load instead of
+// building an unbounded goroutine backlog.
+var ErrOverloaded = errors.New("serve: overloaded, retry later")
+
+// Admission is a semaphore-based admission controller: at most
+// `concurrent` requests evaluate at once, at most `queueDepth` more
+// wait for a slot, and everything beyond that is shed immediately.
+type Admission struct {
+	sem      chan struct{}
+	queueCap int64
+
+	queued   atomic.Int64
+	inflight atomic.Int64
+	admitted atomic.Int64
+	shed     atomic.Int64
+}
+
+// NewAdmission builds a controller with the given limits; non-positive
+// concurrency means 1, negative queue depth means 0.
+func NewAdmission(concurrent, queueDepth int) *Admission {
+	if concurrent <= 0 {
+		concurrent = 1
+	}
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	return &Admission{sem: make(chan struct{}, concurrent), queueCap: int64(queueDepth)}
+}
+
+// Acquire admits one request, blocking in the bounded queue when the
+// semaphore is full. It returns the release function the caller must
+// invoke when done, ErrOverloaded when the queue is also full, or the
+// context's error if it ends while queued.
+func (a *Admission) Acquire(ctx context.Context) (func(), error) {
+	select {
+	case a.sem <- struct{}{}:
+	default:
+		if q := a.queued.Add(1); q > a.queueCap {
+			a.queued.Add(-1)
+			a.shed.Add(1)
+			return nil, ErrOverloaded
+		}
+		select {
+		case a.sem <- struct{}{}:
+			a.queued.Add(-1)
+		case <-ctx.Done():
+			a.queued.Add(-1)
+			return nil, ctx.Err()
+		}
+	}
+	a.inflight.Add(1)
+	a.admitted.Add(1)
+	return func() {
+		a.inflight.Add(-1)
+		<-a.sem
+	}, nil
+}
+
+// AdmissionStats is a point-in-time copy of the controller's state.
+type AdmissionStats struct {
+	InFlight int64 // admitted and evaluating now
+	Queued   int64 // waiting for a slot now
+	Admitted int64 // total ever admitted
+	Shed     int64 // total rejected with ErrOverloaded
+}
+
+// Stats snapshots the counters.
+func (a *Admission) Stats() AdmissionStats {
+	return AdmissionStats{
+		InFlight: a.inflight.Load(),
+		Queued:   a.queued.Load(),
+		Admitted: a.admitted.Load(),
+		Shed:     a.shed.Load(),
+	}
+}

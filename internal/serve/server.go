@@ -1,0 +1,498 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/solve"
+)
+
+// Config tunes the service layer. The zero value serves with sensible
+// production defaults.
+type Config struct {
+	// CacheSize is the scenario cache capacity in entries; <= 0 means
+	// 4096.
+	CacheSize int
+	// MaxConcurrent bounds simultaneous evaluations; <= 0 means
+	// GOMAXPROCS.
+	MaxConcurrent int
+	// MaxQueue bounds requests waiting for an evaluation slot before the
+	// daemon sheds with 429; <= 0 means 64.
+	MaxQueue int
+	// RequestTimeout is the per-request evaluation deadline; <= 0 means
+	// 10s.
+	RequestTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheSize <= 0 {
+		c.CacheSize = 4096
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 64
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+	return c
+}
+
+// endpoint names, also the /metrics labels.
+const (
+	epEvaluate = "evaluate"
+	epTiered   = "tiered"
+	epNUMA     = "numa"
+	epSweep    = "sweep"
+)
+
+// maxBodyBytes bounds request bodies; a measured curve with thousands
+// of points still fits comfortably.
+const maxBodyBytes = 1 << 20
+
+// Caps on sweep fan-out so one request cannot monopolize the daemon.
+const (
+	maxSweepSteps    = 2048
+	maxSweepClasses  = 64
+	maxSweepVariants = 1024
+)
+
+// Server is the model-evaluation service: four JSON evaluation
+// endpoints over the unified solve kernel, fronted by the scenario
+// cache and the admission controller, plus /healthz and /metrics.
+type Server struct {
+	cfg     Config
+	cache   *Cache
+	adm     *Admission
+	metrics *Metrics
+
+	draining atomic.Bool
+
+	// testHookSolve, when set, runs at the start of every cold solve —
+	// the test seam for exercising singleflight, shedding, and drain.
+	testHookSolve func()
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:     cfg,
+		cache:   NewCache(cfg.CacheSize),
+		adm:     NewAdmission(cfg.MaxConcurrent, cfg.MaxQueue),
+		metrics: newMetrics([]string{epEvaluate, epTiered, epNUMA, epSweep}),
+	}
+}
+
+// Handler returns the daemon's HTTP surface.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/evaluate", s.post(epEvaluate, s.prepareEvaluate))
+	mux.HandleFunc("/v1/evaluate/tiered", s.post(epTiered, s.prepareTiered))
+	mux.HandleFunc("/v1/evaluate/numa", s.post(epNUMA, s.prepareNUMA))
+	mux.HandleFunc("/v1/sweep", s.post(epSweep, s.prepareSweep))
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+// Drain flips the server into draining mode: /healthz starts reporting
+// 503 so load balancers stop routing here, while in-flight requests run
+// to completion (the HTTP shutdown itself is the caller's http.Server's
+// job). Draining is one-way.
+func (s *Server) Drain() { s.draining.Store(true) }
+
+// Draining reports whether Drain was called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// StatsLine renders a one-line operational summary — the "flush stats"
+// record the daemon prints after a graceful drain.
+func (s *Server) StatsLine() string {
+	cs, as, st := s.cache.Stats(), s.adm.Stats(), s.metrics.Solver.Stats()
+	return fmt.Sprintf(
+		"cache %d hits / %d shared / %d misses / %d evictions (hit ratio %.1f%%); admitted %d, shed %d; solver %d solves, %d iterations, %d bandwidth-limited, worst residual %.2g",
+		cs.Hits, cs.Shared, cs.Misses, cs.Evictions, 100*cs.HitRatio(),
+		as.Admitted, as.Shed, st.Solves, st.Iterations, st.BandwidthLimited, st.MaxResidual)
+}
+
+// preparation is a validated request ready to evaluate: the canonical
+// cache key and the cold-solve closure that produces the response body.
+type preparation struct {
+	key string
+	run func(ctx context.Context) (any, error)
+}
+
+// prepareFunc decodes and validates one endpoint's request body.
+type prepareFunc func(dec *json.Decoder) (preparation, error)
+
+// cachedMarker lets the generic handler set the Cached flag on a
+// response served from the cache without knowing its concrete type.
+type cachedMarker interface{ markCached() any }
+
+func (r EvaluateResponse) markCached() any { r.Cached = true; return r }
+func (r TieredResponse) markCached() any   { r.Cached = true; return r }
+func (r NUMAResponse) markCached() any     { r.Cached = true; return r }
+func (r SweepResponse) markCached() any    { r.Cached = true; return r }
+
+// post wraps one endpoint: method check, bounded decode, admission,
+// per-request deadline, cached evaluation, and error mapping, with the
+// endpoint's latency and status recorded on the way out.
+func (s *Server) post(name string, prepare prepareFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		status := http.StatusOK
+		defer func() { s.metrics.endpoint(name).record(status, time.Since(t0)) }()
+
+		if r.Method != http.MethodPost {
+			status = http.StatusMethodNotAllowed
+			writeError(w, status, "POST only")
+			return
+		}
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+		dec.DisallowUnknownFields()
+		prep, err := prepare(dec)
+		if err != nil {
+			status = http.StatusBadRequest
+			writeError(w, status, err.Error())
+			return
+		}
+
+		release, err := s.adm.Acquire(r.Context())
+		if err != nil {
+			status = statusFor(err)
+			if errors.Is(err, ErrOverloaded) {
+				w.Header().Set("Retry-After", "1")
+			}
+			writeError(w, status, err.Error())
+			return
+		}
+		defer release()
+
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+
+		val, cached, err := s.cache.Do(ctx, prep.key, func() (any, error) {
+			if s.testHookSolve != nil {
+				s.testHookSolve()
+			}
+			return prep.run(ctx)
+		})
+		if err != nil {
+			status = statusFor(err)
+			writeError(w, status, err.Error())
+			return
+		}
+		if cached {
+			val = val.(cachedMarker).markCached()
+		}
+		writeJSON(w, http.StatusOK, val)
+	}
+}
+
+// statusFor maps evaluation errors onto HTTP statuses: validation
+// sentinels to 400, shed load to 429, deadlines to 504, disconnects to
+// 503, non-convergence to 422, anything else to 500.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, model.ErrInvalidParams) || errors.Is(err, model.ErrInvalidPlatform):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, solve.ErrNoConvergence):
+		return http.StatusUnprocessableEntity
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// record returns a context that tees solver outcomes into the
+// process-wide aggregate and a fresh per-request aggregate.
+func (s *Server) record(ctx context.Context) (context.Context, *solve.Aggregate) {
+	agg := &solve.Aggregate{}
+	return solve.WithRecorder(ctx, teeRecorder{&s.metrics.Solver, agg}), agg
+}
+
+func (s *Server) prepareEvaluate(dec *json.Decoder) (preparation, error) {
+	var req EvaluateRequest
+	if err := dec.Decode(&req); err != nil {
+		return preparation{}, fmt.Errorf("decode: %w", err)
+	}
+	p, err := req.Params.Params()
+	if err != nil {
+		return preparation{}, err
+	}
+	pl, err := req.Platform.Platform()
+	if err != nil {
+		return preparation{}, err
+	}
+	return preparation{
+		key: model.ScenarioKey("evaluate", model.CanonicalParams(p), model.CanonicalPlatform(pl)),
+		run: func(ctx context.Context) (any, error) {
+			ctx, agg := s.record(ctx)
+			op, err := model.EvaluateCtx(ctx, p, pl)
+			if err != nil {
+				return nil, err
+			}
+			return EvaluateResponse{
+				Workload: p.Name,
+				Platform: pl.Name,
+				Point:    pointBody(op, pl),
+				Solver:   solverBody(agg.Stats()),
+			}, nil
+		},
+	}, nil
+}
+
+func (s *Server) prepareTiered(dec *json.Decoder) (preparation, error) {
+	var req TieredRequest
+	if err := dec.Decode(&req); err != nil {
+		return preparation{}, fmt.Errorf("decode: %w", err)
+	}
+	p, err := req.Params.Params()
+	if err != nil {
+		return preparation{}, err
+	}
+	tp, err := req.Platform.Platform()
+	if err != nil {
+		return preparation{}, err
+	}
+	return preparation{
+		key: model.ScenarioKey("tiered", model.CanonicalParams(p), model.CanonicalTiered(tp)),
+		run: func(ctx context.Context) (any, error) {
+			ctx, agg := s.record(ctx)
+			op, err := model.EvaluateTieredCtx(ctx, p, tp)
+			if err != nil {
+				return nil, err
+			}
+			resp := TieredResponse{
+				Workload:       p.Name,
+				Platform:       tp.Name,
+				CPI:            op.CPI,
+				BandwidthBound: op.BandwidthBound,
+				Solver:         solverBody(agg.Stats()),
+			}
+			for _, t := range op.Tiers {
+				resp.Tiers = append(resp.Tiers, TierPointBody{
+					Name:          t.Name,
+					MissPenaltyNS: t.MissPenalty.Nanoseconds(),
+					DemandGBps:    t.Demand.GBps(),
+					Utilization:   t.Utilization,
+					Saturated:     t.Saturated,
+				})
+			}
+			return resp, nil
+		},
+	}, nil
+}
+
+func (s *Server) prepareNUMA(dec *json.Decoder) (preparation, error) {
+	var req NUMARequest
+	if err := dec.Decode(&req); err != nil {
+		return preparation{}, fmt.Errorf("decode: %w", err)
+	}
+	p, err := req.Params.Params()
+	if err != nil {
+		return preparation{}, err
+	}
+	np, err := req.Platform.Platform()
+	if err != nil {
+		return preparation{}, err
+	}
+	return preparation{
+		key: model.ScenarioKey("numa", model.CanonicalParams(p), model.CanonicalNUMA(np)),
+		run: func(ctx context.Context) (any, error) {
+			ctx, agg := s.record(ctx)
+			op, err := model.EvaluateNUMACtx(ctx, p, np)
+			if err != nil {
+				return nil, err
+			}
+			return NUMAResponse{
+				Workload:       p.Name,
+				Platform:       np.Name,
+				CPI:            op.CPI,
+				LocalNS:        op.LocalMP.Nanoseconds(),
+				RemoteNS:       op.RemoteMP.Nanoseconds(),
+				EffectiveNS:    op.EffectiveMP.Nanoseconds(),
+				DRAMDemandGBps: op.DRAMDemand.GBps(),
+				LinkDemandGBps: op.LinkDemand.GBps(),
+				DRAMUtil:       op.DRAMUtil,
+				LinkUtil:       op.LinkUtil,
+				BandwidthBound: op.BandwidthBound,
+				Solver:         solverBody(agg.Stats()),
+			}, nil
+		},
+	}, nil
+}
+
+func (s *Server) prepareSweep(dec *json.Decoder) (preparation, error) {
+	var req SweepRequest
+	if err := dec.Decode(&req); err != nil {
+		return preparation{}, fmt.Errorf("decode: %w", err)
+	}
+	specs := req.Classes
+	if len(specs) == 0 {
+		specs = []ParamsSpec{{Class: "bigdata"}, {Class: "enterprise"}, {Class: "hpc"}}
+	}
+	if len(specs) > maxSweepClasses {
+		return preparation{}, fmt.Errorf("%w: at most %d classes per sweep", model.ErrInvalidParams, maxSweepClasses)
+	}
+	classes := make([]model.Params, len(specs))
+	classKeys := make([]string, len(specs))
+	for i, spec := range specs {
+		p, err := spec.Params()
+		if err != nil {
+			return preparation{}, err
+		}
+		classes[i] = p
+		classKeys[i] = model.CanonicalParams(p)
+	}
+	pl, err := req.Platform.Platform()
+	if err != nil {
+		return preparation{}, err
+	}
+
+	keyParts := append([]string{"sweep", req.Axis, model.CanonicalPlatform(pl)}, classKeys...)
+	switch req.Axis {
+	case "latency":
+		steps, stepNS := req.Steps, req.StepNS
+		if steps == 0 {
+			steps = 10
+		}
+		if stepNS == 0 {
+			stepNS = 10
+		}
+		if steps < 1 || steps > maxSweepSteps || stepNS <= 0 {
+			return preparation{}, fmt.Errorf("%w: latency sweep needs 1..%d steps of positive step_ns",
+				model.ErrInvalidPlatform, maxSweepSteps)
+		}
+		keyParts = append(keyParts, fmt.Sprintf("steps=%d,stepns=%g", steps, stepNS))
+		return preparation{
+			key: model.ScenarioKey(keyParts...),
+			run: func(ctx context.Context) (any, error) {
+				ctx, agg := s.record(ctx)
+				sw, err := model.LatencySweepCtx(ctx, pl, classes, steps, stepNS)
+				if err != nil {
+					return nil, err
+				}
+				return sweepResponse("latency", sw, agg.Stats()), nil
+			},
+		}, nil
+	case "bandwidth":
+		variants := model.PaperBandwidthVariants()
+		if len(req.Variants) > 0 {
+			if len(req.Variants) > maxSweepVariants {
+				return preparation{}, fmt.Errorf("%w: at most %d variants per sweep",
+					model.ErrInvalidPlatform, maxSweepVariants)
+			}
+			variants = variants[:0]
+			for i, v := range req.Variants {
+				if v.Channels < 1 || v.GradeMTs < 1 || v.Efficiency <= 0 || v.Efficiency > 1 {
+					return preparation{}, fmt.Errorf("%w: variant %d out of range", model.ErrInvalidPlatform, i)
+				}
+				label := v.Label
+				if label == "" {
+					label = fmt.Sprintf("%dch DDR-%d @%.0f%%", v.Channels, v.GradeMTs, v.Efficiency*100)
+				}
+				variants = append(variants, model.BandwidthVariant{
+					Label: label, Channels: v.Channels, ChannelMTs: v.GradeMTs, Efficiency: v.Efficiency,
+				})
+			}
+		}
+		for _, v := range variants {
+			keyParts = append(keyParts, fmt.Sprintf("ch=%d,mts=%d,eff=%g", v.Channels, v.ChannelMTs, v.Efficiency))
+		}
+		return preparation{
+			key: model.ScenarioKey(keyParts...),
+			run: func(ctx context.Context) (any, error) {
+				ctx, agg := s.record(ctx)
+				sw, err := model.BandwidthSweepCtx(ctx, pl, classes, variants)
+				if err != nil {
+					return nil, err
+				}
+				return sweepResponse("bandwidth", sw, agg.Stats()), nil
+			},
+		}, nil
+	default:
+		return preparation{}, fmt.Errorf("%w: sweep axis must be \"latency\" or \"bandwidth\", got %q",
+			model.ErrInvalidPlatform, req.Axis)
+	}
+}
+
+func sweepResponse(axis string, sw model.Sweep, st solve.Stats) SweepResponse {
+	resp := SweepResponse{Axis: axis, Solver: solverBody(st)}
+	for _, pt := range sw.Points {
+		body := SweepPointBody{
+			Platform:    pt.Platform.Name,
+			Delta:       pt.DeltaPerCore,
+			CPI:         map[string]float64{},
+			CPIIncrease: map[string]float64{},
+		}
+		for name, op := range pt.Ops {
+			body.CPI[name] = op.CPI
+		}
+		for name, inc := range pt.CPIIncrease {
+			body.CPIIncrease[name] = inc
+		}
+		resp.Points = append(resp.Points, body)
+	}
+	return resp
+}
+
+// healthBody is the /healthz reply.
+type healthBody struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	InFlight      int64   `json:"inflight"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	body := healthBody{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.metrics.start).Seconds(),
+		InFlight:      s.adm.Stats().InFlight,
+	}
+	status := http.StatusOK
+	if s.draining.Load() {
+		body.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, body)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.render(w, s.cache.Stats(), s.adm.Stats(), s.draining.Load())
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the client hanging up mid-body is not actionable
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, ErrorBody{Error: msg})
+}

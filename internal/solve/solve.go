@@ -211,7 +211,13 @@ type Solver struct {
 // Solve runs one scenario to its Outcome. A recorder planted in ctx
 // (WithRecorder) observes the outcome whether or not the solve
 // converged; the error is ErrNoConvergence exactly when it did not.
+// A cancelled or expired context returns its error before any F
+// evaluation, which is what lets batch callers cut off abandoned grids
+// between points.
 func (s Solver) Solve(ctx context.Context, sc Scenario) (Outcome, error) {
+	if err := ctx.Err(); err != nil {
+		return Outcome{Scenario: sc.Name, Unknown: sc.Unknown}, err
+	}
 	o := s.Options.withDefaults()
 	var out Outcome
 	var err error
@@ -344,8 +350,18 @@ func (s Solver) SolveAll(ctx context.Context, scs []Scenario) ([]Outcome, error)
 			}
 		}()
 	}
+feed:
 	for i := range scs {
-		next <- i
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			// Stop feeding promptly: unfed scenarios report the
+			// cancellation without ever reaching a worker.
+			for j := i; j < len(scs); j++ {
+				errs[j] = ctx.Err()
+			}
+			break feed
+		}
 	}
 	close(next)
 	wg.Wait()
