@@ -154,14 +154,14 @@ func BenchmarkAblationSolver(b *testing.B) {
 	}
 	b.Run("bisection", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := queueing.Solve(sys, demand, queueing.SolveOptions{}); err != nil {
+			if _, err := queueing.Solve(context.Background(), sys, demand, queueing.SolveOptions{}); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("damped", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := queueing.SolveDamped(sys, demand, queueing.SolveOptions{}); err != nil {
+			if _, err := queueing.SolveDamped(context.Background(), sys, demand, queueing.SolveOptions{}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -250,7 +250,7 @@ func BenchmarkModelEvaluate(b *testing.B) {
 	p := model.Params{Name: "Big Data", CPICache: 0.91, BF: 0.21, MPKI: 5.5, WBR: 0.92}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := model.Evaluate(p, pl); err != nil {
+		if _, err := model.Evaluate(context.Background(), p, pl); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,92 @@
+package client
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+type breakerState int
+
+const (
+	stateClosed breakerState = iota
+	stateOpen
+	stateHalfOpen
+)
+
+// breaker is a consecutive-failure circuit breaker. After threshold
+// retryable failures in a row it opens and fast-fails every call for
+// cooldown; the first call after the cooldown becomes the half-open
+// probe (exactly one in flight), and its outcome decides between
+// closing again and re-opening for another cooldown.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	clock     Clock
+	opens     *atomic.Int64 // shared with the client's stats
+
+	mu          sync.Mutex
+	state       breakerState
+	consecutive int
+	openedAt    time.Time
+	probing     bool
+}
+
+func newBreaker(threshold int, cooldown time.Duration, clock Clock, opens *atomic.Int64) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown, clock: clock, opens: opens}
+}
+
+// allow reports whether a call may proceed. A nil breaker (disabled)
+// always allows.
+func (b *breaker) allow() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case stateClosed:
+		return true
+	case stateOpen:
+		if b.clock.Now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = stateHalfOpen
+		b.probing = true
+		return true
+	default: // half-open: one probe at a time
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+func (b *breaker) success() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = stateClosed
+	b.consecutive = 0
+	b.probing = false
+}
+
+func (b *breaker) failure() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecutive++
+	if b.state == stateHalfOpen || b.consecutive >= b.threshold {
+		if b.state != stateOpen {
+			b.opens.Add(1)
+		}
+		b.state = stateOpen
+		b.openedAt = b.clock.Now()
+		b.probing = false
+	}
+}

@@ -1,0 +1,92 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// ErrCircuitOpen is returned (possibly wrapped around the failure that
+// tripped the breaker) when the circuit breaker fast-fails a call
+// without touching the network.
+var ErrCircuitOpen = errors.New("client: circuit open")
+
+// ErrBudgetExhausted marks a call that ran out of deadline budget or
+// attempts while the request was still failing. It always wraps the
+// last attempt's error, so errors.As still surfaces the *APIError (or
+// transport error) behind it.
+var ErrBudgetExhausted = errors.New("client: retry budget exhausted")
+
+// APIError is a non-2xx reply decoded from memmodeld's unified error
+// envelope {"error":{"code","message","details"}}.
+type APIError struct {
+	// Status is the HTTP status code.
+	Status int
+	// Code is the stable machine-readable code from the envelope
+	// ("overloaded", "fault_injected", "invalid_params", ...); for a
+	// body that isn't the envelope it falls back to "http_<status>".
+	Code string
+	// Message is the human-readable message from the envelope.
+	Message string
+	// Details carries the envelope's optional structured context.
+	Details map[string]any
+	// RetryAfter is the server's parsed Retry-After hint, 0 if absent.
+	RetryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	if e.Message == "" {
+		return fmt.Sprintf("memmodeld: %d %s", e.Status, e.Code)
+	}
+	return fmt.Sprintf("memmodeld: %d %s: %s", e.Status, e.Code, e.Message)
+}
+
+// Temporary reports whether the failure is worth retrying: overload
+// shedding (429), and the 5xx family a proxy or chaos middleware can
+// inject (500, 502, 503, 504). Validation failures (4xx) and semantic
+// errors like 422 no_convergence are permanent — retrying resends the
+// same broken request.
+func (e *APIError) Temporary() bool {
+	switch e.Status {
+	case http.StatusTooManyRequests,
+		http.StatusInternalServerError,
+		http.StatusBadGateway,
+		http.StatusServiceUnavailable,
+		http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// retryable classifies any attempt error: APIErrors by status, and
+// everything else (transport-level: refused, reset, severed mid-body)
+// as retryable.
+func retryable(err error) bool {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.Temporary()
+	}
+	return true
+}
+
+// parseRetryAfter handles both Retry-After forms: delta-seconds and
+// HTTP-date (relative to now).
+func parseRetryAfter(v string, now time.Time) time.Duration {
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		if d := t.Sub(now); d > 0 {
+			return d
+		}
+	}
+	return 0
+}

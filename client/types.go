@@ -1,0 +1,49 @@
+package client
+
+import "repro/internal/serve"
+
+// The wire types are aliases of the service layer's, so requests a
+// client builds are byte-for-byte the structs the daemon decodes and
+// the two can never drift apart.
+type (
+	// CurveSpec selects a queuing curve ("mm1", "md1", "measured").
+	CurveSpec = serve.CurveSpec
+	// CurvePoint is one sample of a measured queuing curve.
+	CurvePoint = serve.CurvePoint
+	// ParamsSpec selects a workload: a Table 6 class or custom Eq. 1/4
+	// components.
+	ParamsSpec = serve.ParamsSpec
+	// PlatformSpec describes a single-tier platform (zero fields take
+	// the paper's §VI.C.2 baseline).
+	PlatformSpec = serve.PlatformSpec
+	// TierSpec is one level of a tiered memory system.
+	TierSpec = serve.TierSpec
+	// TieredPlatformSpec describes an Eq. 5 multi-tier platform.
+	TieredPlatformSpec = serve.TieredPlatformSpec
+	// NUMAPlatformSpec describes a symmetric multi-socket platform.
+	NUMAPlatformSpec = serve.NUMAPlatformSpec
+	// BandwidthVariantSpec is one platform variant of a bandwidth sweep.
+	BandwidthVariantSpec = serve.BandwidthVariantSpec
+
+	// EvaluateRequest is the body of POST /v1/evaluate.
+	EvaluateRequest = serve.EvaluateRequest
+	// TieredRequest is the body of POST /v1/evaluate/tiered.
+	TieredRequest = serve.TieredRequest
+	// NUMARequest is the body of POST /v1/evaluate/numa.
+	NUMARequest = serve.NUMARequest
+	// SweepRequest is the body of POST /v1/sweep.
+	SweepRequest = serve.SweepRequest
+
+	// EvaluateResponse is the body of a /v1/evaluate reply.
+	EvaluateResponse = serve.EvaluateResponse
+	// TieredResponse is the body of a /v1/evaluate/tiered reply.
+	TieredResponse = serve.TieredResponse
+	// NUMAResponse is the body of a /v1/evaluate/numa reply.
+	NUMAResponse = serve.NUMAResponse
+	// SweepResponse is the body of a /v1/sweep reply.
+	SweepResponse = serve.SweepResponse
+	// OperatingPointBody is the wire form of a solved operating point.
+	OperatingPointBody = serve.OperatingPointBody
+	// SolverBody echoes the solver telemetry behind a response.
+	SolverBody = serve.SolverBody
+)

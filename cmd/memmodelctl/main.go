@@ -1,0 +1,157 @@
+// Command memmodelctl drives a memmodeld daemon through the resilient
+// client SDK — the operational counterpart to cmd/memmodeld and the
+// workhorse of scripts/chaos_memmodeld.sh.
+//
+// Usage:
+//
+//	memmodelctl [flags] health
+//	memmodelctl [flags] eval [-class bigdata] [-compulsory-ns N] [-peak-gbps N]
+//	memmodelctl [flags] soak [-n 200] [-workers 4] [-spread 8]
+//
+// Global flags shape the reliability stack the SDK brings: -budget is
+// the overall per-call deadline, -max-attempts caps retries inside it,
+// -backoff-base/-backoff-cap bound the jittered exponential backoff,
+// -seed makes the jitter sequence reproducible, and -breaker arms the
+// circuit breaker (0 disables it — the right setting against a chaos
+// daemon, where faults are random rather than a dead backend).
+//
+// `soak` pushes n evaluate requests through the client with bounded
+// parallelism, requires 100% eventual success, and prints the client's
+// retry counters in Prometheus text format. Exit status is non-zero if
+// any request exhausts its budget — which is exactly the chaos
+// acceptance check.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/client"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "http://127.0.0.1:8080", "memmodeld base URL")
+		budget      = flag.Duration("budget", 30*time.Second, "overall per-call deadline budget")
+		attemptTO   = flag.Duration("attempt-timeout", 5*time.Second, "per-attempt timeout inside the budget")
+		maxAttempts = flag.Int("max-attempts", 10, "attempt cap per call, first try included")
+		backoffBase = flag.Duration("backoff-base", 20*time.Millisecond, "exponential backoff base")
+		backoffCap  = flag.Duration("backoff-cap", 2*time.Second, "exponential backoff cap")
+		seed        = flag.Int64("seed", 1, "jitter sequence seed")
+		breaker     = flag.Int("breaker", 0, "circuit-breaker threshold (consecutive failures); 0 disables")
+		cooldown    = flag.Duration("breaker-cooldown", 5*time.Second, "circuit-breaker open duration before the probe")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: memmodelctl [flags] <health|eval|soak> [command flags]\n\nflags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() < 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	c := client.New(*addr,
+		client.WithBudget(*budget),
+		client.WithAttemptTimeout(*attemptTO),
+		client.WithMaxAttempts(*maxAttempts),
+		client.WithBackoff(*backoffBase, *backoffCap),
+		client.WithSeed(*seed),
+		client.WithBreaker(*breaker, *cooldown),
+	)
+
+	var err error
+	switch cmd := flag.Arg(0); cmd {
+	case "health":
+		err = runHealth(c)
+	case "eval":
+		err = runEval(c, flag.Args()[1:])
+	case "soak":
+		err = runSoak(c, flag.Args()[1:])
+	default:
+		fmt.Fprintf(os.Stderr, "memmodelctl: unknown command %q\n", cmd)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "memmodelctl: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// runHealth waits for the daemon to answer /healthz — the SDK retries
+// 503s (a booting or draining daemon) within the budget, so this
+// doubles as a readiness gate for scripts.
+func runHealth(c *client.Client) error {
+	if err := c.Healthz(context.Background()); err != nil {
+		return fmt.Errorf("health: %w", err)
+	}
+	fmt.Println("healthy")
+	return nil
+}
+
+func runEval(c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("eval", flag.ExitOnError)
+	class := fs.String("class", "bigdata", "workload class (bigdata, enterprise, hpc)")
+	compulsory := fs.Float64("compulsory-ns", 0, "compulsory latency override (0 = paper baseline)")
+	peak := fs.Float64("peak-gbps", 0, "peak bandwidth override (0 = paper baseline)")
+	fs.Parse(args)
+
+	resp, err := c.Evaluate(context.Background(), client.EvaluateRequest{
+		Params:   client.ParamsSpec{Class: *class},
+		Platform: client.PlatformSpec{CompulsoryNS: *compulsory, PeakGBps: *peak},
+	})
+	if err != nil {
+		return fmt.Errorf("eval: %w", err)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(resp)
+}
+
+// runSoak is the chaos acceptance run: n requests spread over the
+// three workload classes and a small platform grid, every one of which
+// must eventually succeed within its budget.
+func runSoak(c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("soak", flag.ExitOnError)
+	n := fs.Int("n", 200, "number of evaluate requests")
+	workers := fs.Int("workers", 4, "bounded parallelism")
+	spread := fs.Int("spread", 8, "distinct compulsory-latency variants (cache-miss spread)")
+	fs.Parse(args)
+
+	classes := []string{"bigdata", "enterprise", "hpc"}
+	reqs := make([]client.EvaluateRequest, *n)
+	for i := range reqs {
+		reqs[i] = client.EvaluateRequest{
+			Params:   client.ParamsSpec{Class: classes[i%len(classes)]},
+			Platform: client.PlatformSpec{CompulsoryNS: float64(75 + i%*spread)},
+		}
+	}
+
+	start := time.Now()
+	results := c.EvaluateBatch(context.Background(), reqs, *workers)
+	elapsed := time.Since(start)
+
+	failed := 0
+	for i, res := range results {
+		if res.Err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "soak: request %d: %v\n", i, res.Err)
+		}
+	}
+	st := c.Stats()
+	fmt.Fprintf(os.Stderr,
+		"soak: %d/%d ok in %v (%d attempts, %d retries, %d retry-after honored, backoff %v)\n",
+		*n-failed, *n, elapsed.Round(time.Millisecond),
+		st.Attempts, st.Retries, st.RetryAfterHonored, st.BackoffTotal.Round(time.Millisecond))
+	c.WriteMetrics(os.Stdout)
+	if failed > 0 {
+		return fmt.Errorf("soak: %d/%d requests exhausted their budget", failed, *n)
+	}
+	return nil
+}

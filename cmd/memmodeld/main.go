@@ -8,6 +8,13 @@
 //
 //	memmodeld [-addr :8080] [-cache 4096] [-concurrency N] [-queue 64]
 //	          [-timeout 10s] [-drain-timeout 30s]
+//	          [-fault-seed 1] [-fault-latency-p 0] [-fault-latency 30ms]
+//	          [-fault-error-p 0] [-fault-unavailable-p 0] [-fault-drop-p 0]
+//
+// The -fault-* flags arm the deterministic fault-injection middleware on
+// the /v1 endpoints — the chaos harness the resilient client is tested
+// against. With a fixed -fault-seed the fault sequence is reproducible
+// request-for-request, so chaos runs can be replayed.
 //
 // SIGTERM or SIGINT triggers a graceful drain: the daemon stops
 // accepting connections, fails /healthz so load balancers route away,
@@ -37,15 +44,30 @@ func main() {
 		queue   = flag.Int("queue", 64, "admission queue depth beyond the concurrency limit")
 		timeout = flag.Duration("timeout", 10*time.Second, "per-request evaluation deadline")
 		drain   = flag.Duration("drain-timeout", 30*time.Second, "graceful drain deadline on SIGTERM")
+
+		faultSeed     = flag.Int64("fault-seed", 1, "seed for the deterministic fault sequence")
+		faultLatP     = flag.Float64("fault-latency-p", 0, "probability of added latency per /v1 request")
+		faultLat      = flag.Duration("fault-latency", 30*time.Millisecond, "latency added when the latency fault fires")
+		faultErrP     = flag.Float64("fault-error-p", 0, "probability of an injected 500 per /v1 request")
+		faultUnavailP = flag.Float64("fault-unavailable-p", 0, "probability of an injected 503 per /v1 request")
+		faultDropP    = flag.Float64("fault-drop-p", 0, "probability of a dropped connection per /v1 request")
 	)
 	flag.Parse()
 
-	srv := serve.New(serve.Config{
-		CacheSize:      *cache,
-		MaxConcurrent:  *conc,
-		MaxQueue:       *queue,
-		RequestTimeout: *timeout,
-	})
+	faults := serve.FaultConfig{
+		Seed:         *faultSeed,
+		LatencyP:     *faultLatP,
+		Latency:      *faultLat,
+		ErrorP:       *faultErrP,
+		UnavailableP: *faultUnavailP,
+		DropP:        *faultDropP,
+	}
+	srv := serve.New(
+		serve.WithCacheSize(*cache),
+		serve.WithAdmission(*conc, *queue),
+		serve.WithRequestTimeout(*timeout),
+		serve.WithFaults(faults),
+	)
 	hs := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
@@ -56,6 +78,11 @@ func main() {
 	go func() { errc <- hs.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "memmodeld: listening on %s (cache %d, concurrency %d, queue %d, timeout %v)\n",
 		*addr, *cache, *conc, *queue, *timeout)
+	if faults.Enabled() {
+		fmt.Fprintf(os.Stderr,
+			"memmodeld: FAULT INJECTION ARMED (seed %d): latency p=%.2f (%v), error p=%.2f, unavailable p=%.2f, drop p=%.2f\n",
+			faults.Seed, faults.LatencyP, faults.Latency, faults.ErrorP, faults.UnavailableP, faults.DropP)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
 	defer stop()

@@ -39,7 +39,7 @@ func main() {
 		"class", "all-DRAM CPI", "hit rate for <=10% regression", "CPI at 50% hit rate")
 	for _, t := range params.Table6 {
 		p := model.Params{Name: t.Workload, CPICache: t.CPICache, BF: t.BF, MPKI: t.MPKI, WBR: t.WBR}
-		baseOp, err := model.EvaluateCtx(ctx, p, base)
+		baseOp, err := model.Evaluate(ctx, p, base)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -56,7 +56,7 @@ func main() {
 					{Name: "PMEM", HitFraction: 1 - hit, Compulsory: pmemLatency, PeakBW: pmemBW, Queue: curve},
 				},
 			}
-			op, err := model.EvaluateTieredCtx(ctx, p, tp)
+			op, err := model.EvaluateTiered(ctx, p, tp)
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -15,7 +15,7 @@ import (
 )
 
 func evalCPI(c model.Params, pl model.Platform) (float64, error) {
-	op, err := model.Evaluate(c, pl)
+	op, err := model.Evaluate(context.Background(), c, pl)
 	if err != nil {
 		return 0, err
 	}

@@ -61,7 +61,7 @@ func (s *Suite) TieredMemory(ctx context.Context) (Artifact, error) {
 		row := []interface{}{fmtPct(hit)}
 		cpis := map[string]float64{}
 		for _, c := range classes {
-			op, err := model.EvaluateTieredCtx(ctx, c, tp)
+			op, err := model.EvaluateTiered(ctx, c, tp)
 			if err != nil {
 				return Artifact{}, err
 			}

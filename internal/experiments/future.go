@@ -62,7 +62,7 @@ func (s *Suite) FutureMemory(ctx context.Context) (Artifact, error) {
 
 	evalFlat := func(pl model.Platform) func(model.Params) (float64, error) {
 		return func(p model.Params) (float64, error) {
-			op, err := model.EvaluateCtx(ctx, p, pl)
+			op, err := model.Evaluate(ctx, p, pl)
 			if err != nil {
 				return 0, err
 			}
@@ -91,7 +91,7 @@ func (s *Suite) FutureMemory(ctx context.Context) (Artifact, error) {
 		},
 	}
 	if err := addRow(tiered.Name, func(p model.Params) (float64, error) {
-		op, err := model.EvaluateTieredCtx(ctx, p, tiered)
+		op, err := model.EvaluateTiered(ctx, p, tiered)
 		if err != nil {
 			return 0, err
 		}

@@ -21,7 +21,7 @@ func (s *Suite) Figure8(ctx context.Context) (Artifact, error) {
 	if err != nil {
 		return Artifact{}, err
 	}
-	sweep, err := model.BandwidthSweepCtx(ctx, base, classes, model.PaperBandwidthVariants())
+	sweep, err := model.BandwidthSweep(ctx, base, classes, model.PaperBandwidthVariants())
 	if err != nil {
 		return Artifact{}, err
 	}
@@ -64,7 +64,7 @@ func (s *Suite) Figure9(ctx context.Context) (Artifact, error) {
 	if err != nil {
 		return Artifact{}, err
 	}
-	sweep, err := model.BandwidthSweepCtx(ctx, base, classes, model.PaperBandwidthVariants())
+	sweep, err := model.BandwidthSweep(ctx, base, classes, model.PaperBandwidthVariants())
 	if err != nil {
 		return Artifact{}, err
 	}
@@ -107,7 +107,7 @@ func (s *Suite) Figure10(ctx context.Context) (Artifact, error) {
 	if err != nil {
 		return Artifact{}, err
 	}
-	sweep, err := model.LatencySweepCtx(ctx, base, classes, 6, 10)
+	sweep, err := model.LatencySweep(ctx, base, classes, 6, 10)
 	if err != nil {
 		return Artifact{}, err
 	}
@@ -146,7 +146,7 @@ func (s *Suite) Figure11(ctx context.Context) (Artifact, error) {
 	if err != nil {
 		return Artifact{}, err
 	}
-	sweep, err := model.LatencySweepCtx(ctx, base, classes, 6, 10)
+	sweep, err := model.LatencySweep(ctx, base, classes, 6, 10)
 	if err != nil {
 		return Artifact{}, err
 	}

@@ -51,7 +51,7 @@ func TestLatencySweepCancelled(t *testing.T) {
 
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	_, err := LatencySweepCtx(ctx, pl, []Params{p}, 50, 5)
+	_, err := LatencySweep(ctx, pl, []Params{p}, 50, 5)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("LatencySweepCtx on cancelled ctx: err = %v, want context.Canceled", err)
 	}

@@ -1,6 +1,7 @@
 package model
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -82,11 +83,11 @@ func consistencyCases() []struct {
 func TestTieredDegeneratesToEvaluate(t *testing.T) {
 	for _, tc := range consistencyCases() {
 		t.Run(tc.name, func(t *testing.T) {
-			op, err := Evaluate(tc.p, tc.pl)
+			op, err := Evaluate(context.Background(), tc.p, tc.pl)
 			if err != nil {
 				t.Fatal(err)
 			}
-			top, err := EvaluateTiered(tc.p, singleTier(tc.pl))
+			top, err := EvaluateTiered(context.Background(), tc.p, singleTier(tc.pl))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -121,11 +122,11 @@ func TestTieredDegeneratesToEvaluate(t *testing.T) {
 func TestNUMADegeneratesToEvaluate(t *testing.T) {
 	for _, tc := range consistencyCases() {
 		t.Run(tc.name, func(t *testing.T) {
-			op, err := Evaluate(tc.p, tc.pl)
+			op, err := Evaluate(context.Background(), tc.p, tc.pl)
 			if err != nil {
 				t.Fatal(err)
 			}
-			nop, err := EvaluateNUMA(tc.p, allLocal(tc.pl))
+			nop, err := EvaluateNUMA(context.Background(), tc.p, allLocal(tc.pl))
 			if err != nil {
 				t.Fatal(err)
 			}

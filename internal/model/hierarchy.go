@@ -85,13 +85,9 @@ type TieredOperatingPoint struct {
 // single scalar CPI, and the map c → Eq5(c) is decreasing in c (a slower
 // core demands less bandwidth, so queues shrink), so the fixed point is
 // found by the shared bisection kernel, like the single-tier solver.
-func EvaluateTiered(p Params, tp TieredPlatform) (TieredOperatingPoint, error) {
-	return EvaluateTieredCtx(context.Background(), p, tp)
-}
-
-// EvaluateTieredCtx is EvaluateTiered with a context for solver
-// telemetry (see EvaluateCtx).
-func EvaluateTieredCtx(ctx context.Context, p Params, tp TieredPlatform) (TieredOperatingPoint, error) {
+// As with Evaluate, a solve.Recorder planted in ctx observes the solver
+// telemetry.
+func EvaluateTiered(ctx context.Context, p Params, tp TieredPlatform) (TieredOperatingPoint, error) {
 	if err := p.Validate(); err != nil {
 		return TieredOperatingPoint{}, err
 	}
@@ -188,6 +184,13 @@ func EvaluateTieredCtx(ctx context.Context, p Params, tp TieredPlatform) (Tiered
 		BandwidthBound: out.Regime == solve.BandwidthLimited,
 		Iterations:     out.Iterations,
 	}, nil
+}
+
+// EvaluateTieredCtx is EvaluateTiered under its pre-context-first name.
+//
+// Deprecated: EvaluateTiered is context-first; call it directly.
+func EvaluateTieredCtx(ctx context.Context, p Params, tp TieredPlatform) (TieredOperatingPoint, error) {
+	return EvaluateTiered(ctx, p, tp)
 }
 
 // PrefetchBFImprovement estimates the §VII observation that a better

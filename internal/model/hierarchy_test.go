@@ -1,6 +1,7 @@
 package model
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -45,11 +46,11 @@ func TestSingleTierMatchesEvaluate(t *testing.T) {
 	pl := testPlatform()
 	tp := tieredFrom(pl, Tier{Name: "DRAM", HitFraction: 1, Compulsory: pl.Compulsory, PeakBW: pl.PeakBW, Queue: pl.Queue})
 	for _, p := range allClasses() {
-		single, err := Evaluate(p, pl)
+		single, err := Evaluate(context.Background(), p, pl)
 		if err != nil {
 			t.Fatal(err)
 		}
-		tiered, err := EvaluateTiered(p, tp)
+		tiered, err := EvaluateTiered(context.Background(), p, tp)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -68,7 +69,7 @@ func TestTieredDegradesWithFarTier(t *testing.T) {
 	cpiAt := func(hit float64) float64 {
 		n, f := near, far
 		n.HitFraction, f.HitFraction = hit, 1-hit
-		op, err := EvaluateTiered(p, tieredFrom(pl, n, f))
+		op, err := EvaluateTiered(context.Background(), p, tieredFrom(pl, n, f))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -96,7 +97,7 @@ func TestTieredEq5HandComputed(t *testing.T) {
 		Tier{Name: "far", HitFraction: 0.2, Compulsory: 225, PeakBW: pl.PeakBW, Queue: zero},
 	)
 	p := enterpriseClass()
-	op, err := EvaluateTiered(p, tp)
+	op, err := EvaluateTiered(context.Background(), p, tp)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +123,7 @@ func TestTieredBandwidthBoundTier(t *testing.T) {
 		Tier{Name: "near", HitFraction: 0.5, Compulsory: pl.Compulsory, PeakBW: pl.PeakBW, Queue: pl.Queue},
 		Tier{Name: "far", HitFraction: 0.5, Compulsory: pl.Compulsory * 3, PeakBW: units.GBpsOf(2), Queue: pl.Queue},
 	)
-	op, err := EvaluateTiered(hpcClass(), tp)
+	op, err := EvaluateTiered(context.Background(), hpcClass(), tp)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,10 +144,10 @@ func TestTieredBandwidthBoundTier(t *testing.T) {
 func TestTieredRejectsBadInput(t *testing.T) {
 	pl := testPlatform()
 	tp := tieredFrom(pl, Tier{Name: "DRAM", HitFraction: 1, Compulsory: pl.Compulsory, PeakBW: pl.PeakBW, Queue: pl.Queue})
-	if _, err := EvaluateTiered(Params{}, tp); err == nil {
+	if _, err := EvaluateTiered(context.Background(), Params{}, tp); err == nil {
 		t.Fatal("want params error")
 	}
-	if _, err := EvaluateTiered(bigDataClass(), tieredFrom(pl)); err == nil {
+	if _, err := EvaluateTiered(context.Background(), bigDataClass(), tieredFrom(pl)); err == nil {
 		t.Fatal("want platform error")
 	}
 }

@@ -112,14 +112,10 @@ type NUMAOperatingPoint struct {
 
 // EvaluateNUMA finds the stable operating point of workload class p on a
 // symmetric NUMA platform. The scalar fixed point is the per-thread CPI,
-// found by the shared bisection kernel as in EvaluateTiered.
-func EvaluateNUMA(p Params, np NUMAPlatform) (NUMAOperatingPoint, error) {
-	return EvaluateNUMACtx(context.Background(), p, np)
-}
-
-// EvaluateNUMACtx is EvaluateNUMA with a context for solver telemetry
-// (see EvaluateCtx).
-func EvaluateNUMACtx(ctx context.Context, p Params, np NUMAPlatform) (NUMAOperatingPoint, error) {
+// found by the shared bisection kernel as in EvaluateTiered. As with
+// Evaluate, a solve.Recorder planted in ctx observes the solver
+// telemetry.
+func EvaluateNUMA(ctx context.Context, p Params, np NUMAPlatform) (NUMAOperatingPoint, error) {
 	if err := p.Validate(); err != nil {
 		return NUMAOperatingPoint{}, err
 	}
@@ -212,6 +208,13 @@ func EvaluateNUMACtx(ctx context.Context, p Params, np NUMAPlatform) (NUMAOperat
 	state.CPI = out.CPI
 	state.BandwidthBound = out.Regime == solve.BandwidthLimited
 	return state, nil
+}
+
+// EvaluateNUMACtx is EvaluateNUMA under its pre-context-first name.
+//
+// Deprecated: EvaluateNUMA is context-first; call it directly.
+func EvaluateNUMACtx(ctx context.Context, p Params, np NUMAPlatform) (NUMAOperatingPoint, error) {
+	return EvaluateNUMA(ctx, p, np)
 }
 
 // DualSocketBaseline builds the two-socket version of the paper's

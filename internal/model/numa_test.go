@@ -1,6 +1,7 @@
 package model
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -41,11 +42,11 @@ func TestNUMAZeroRemoteMatchesSingleSocket(t *testing.T) {
 	// single-socket baseline.
 	np := dualSocket()
 	for _, p := range allClasses() {
-		single, err := Evaluate(p, testPlatform())
+		single, err := Evaluate(context.Background(), p, testPlatform())
 		if err != nil {
 			t.Fatal(err)
 		}
-		numa, err := EvaluateNUMA(p, np)
+		numa, err := EvaluateNUMA(context.Background(), p, np)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -60,7 +61,7 @@ func TestNUMARemoteAccessesCostMore(t *testing.T) {
 	p := enterpriseClass()
 	prev := -1.0
 	for _, rf := range []float64{0, 0.25, 0.5} {
-		op, err := EvaluateNUMA(p, np.WithRemoteFraction(rf))
+		op, err := EvaluateNUMA(context.Background(), p, np.WithRemoteFraction(rf))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -73,7 +74,7 @@ func TestNUMARemoteAccessesCostMore(t *testing.T) {
 
 func TestNUMAEffectiveMPIsWeighted(t *testing.T) {
 	np := dualSocket().WithRemoteFraction(0.5)
-	op, err := EvaluateNUMA(enterpriseClass(), np)
+	op, err := EvaluateNUMA(context.Background(), enterpriseClass(), np)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +92,7 @@ func TestNUMAMatchesPaperTable3Latencies(t *testing.T) {
 	// 2.1 GHz ≈ 191 ns) embed dual-socket remote accesses. A uniform
 	// interleave on the dual-socket baseline must land in that regime.
 	np := dualSocket()
-	op, err := EvaluateNUMA(bigDataClass(), np.WithRemoteFraction(np.UniformInterleave()))
+	op, err := EvaluateNUMA(context.Background(), bigDataClass(), np.WithRemoteFraction(np.UniformInterleave()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +106,7 @@ func TestNUMALinkSaturation(t *testing.T) {
 	// link-bound.
 	np := dualSocket().WithRemoteFraction(0.5)
 	np.LinkPeakBW = units.GBpsOf(3)
-	op, err := EvaluateNUMA(hpcClass(), np)
+	op, err := EvaluateNUMA(context.Background(), hpcClass(), np)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +114,7 @@ func TestNUMALinkSaturation(t *testing.T) {
 		t.Fatal("choked link must bound the operating point")
 	}
 	wide := dualSocket().WithRemoteFraction(0.5)
-	opWide, err := EvaluateNUMA(hpcClass(), wide)
+	opWide, err := EvaluateNUMA(context.Background(), hpcClass(), wide)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,12 +139,12 @@ func TestNUMAUniformInterleave(t *testing.T) {
 }
 
 func TestNUMARejectsBadInput(t *testing.T) {
-	if _, err := EvaluateNUMA(Params{}, dualSocket()); err == nil {
+	if _, err := EvaluateNUMA(context.Background(), Params{}, dualSocket()); err == nil {
 		t.Fatal("want params error")
 	}
 	np := dualSocket()
 	np.Queue = nil
-	if _, err := EvaluateNUMA(bigDataClass(), np); err == nil {
+	if _, err := EvaluateNUMA(context.Background(), bigDataClass(), np); err == nil {
 		t.Fatal("want platform error")
 	}
 }
@@ -154,11 +155,11 @@ func TestNUMALatencySensitivityOrdering(t *testing.T) {
 	// proportionally more than it hurts HPC via latency alone.
 	np := dualSocket()
 	relCost := func(p Params) float64 {
-		local, err := EvaluateNUMA(p, np)
+		local, err := EvaluateNUMA(context.Background(), p, np)
 		if err != nil {
 			t.Fatal(err)
 		}
-		inter, err := EvaluateNUMA(p, np.WithRemoteFraction(0.5))
+		inter, err := EvaluateNUMA(context.Background(), p, np.WithRemoteFraction(0.5))
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -97,14 +97,9 @@ func CombinePhases(name string, phases []Phase) (Params, error) {
 // the phase CPIs by instruction weight — the §IV.D procedure when the
 // single-steady-state assumption does not hold. It returns the weighted
 // CPI and the per-phase operating points. Each phase is one scenario of
-// the shared solve kernel (via Evaluate).
-func PhaseCPI(phases []Phase, pl Platform) (float64, []OperatingPoint, error) {
-	return PhaseCPICtx(context.Background(), phases, pl)
-}
-
-// PhaseCPICtx is PhaseCPI with a context for solver telemetry (see
-// EvaluateCtx).
-func PhaseCPICtx(ctx context.Context, phases []Phase, pl Platform) (float64, []OperatingPoint, error) {
+// the shared solve kernel (via Evaluate), so a solve.Recorder in ctx
+// observes every phase's telemetry.
+func PhaseCPI(ctx context.Context, phases []Phase, pl Platform) (float64, []OperatingPoint, error) {
 	if len(phases) == 0 {
 		return 0, nil, errors.New("model: PhaseCPI of no phases")
 	}
@@ -112,7 +107,7 @@ func PhaseCPICtx(ctx context.Context, phases []Phase, pl Platform) (float64, []O
 	var ops []OperatingPoint
 	var wSum float64
 	for _, ph := range phases {
-		op, err := EvaluateCtx(ctx, ph.Params, pl)
+		op, err := Evaluate(ctx, ph.Params, pl)
 		if err != nil {
 			return 0, nil, err
 		}
@@ -124,4 +119,11 @@ func PhaseCPICtx(ctx context.Context, phases []Phase, pl Platform) (float64, []O
 		return 0, nil, fmt.Errorf("model: phase weights sum to %.3f, want 1", wSum)
 	}
 	return cpi, ops, nil
+}
+
+// PhaseCPICtx is PhaseCPI under its pre-context-first name.
+//
+// Deprecated: PhaseCPI is context-first; call it directly.
+func PhaseCPICtx(ctx context.Context, phases []Phase, pl Platform) (float64, []OperatingPoint, error) {
+	return PhaseCPI(ctx, phases, pl)
 }

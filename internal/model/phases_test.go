@@ -1,6 +1,7 @@
 package model
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -90,11 +91,11 @@ func TestPhaseCPIMatchesDirectForUniformPhases(t *testing.T) {
 	// Identical phases: the weighted phase CPI equals the direct CPI.
 	pl := testPlatform()
 	p := enterpriseClass()
-	direct, err := Evaluate(p, pl)
+	direct, err := Evaluate(context.Background(), p, pl)
 	if err != nil {
 		t.Fatal(err)
 	}
-	phased, ops, err := PhaseCPI([]Phase{
+	phased, ops, err := PhaseCPI(context.Background(), []Phase{
 		{Params: p, Weight: 0.3},
 		{Params: p, Weight: 0.7},
 	}, pl)
@@ -115,7 +116,7 @@ func TestPhaseCPIHandlesMixedRegimes(t *testing.T) {
 	pl := testPlatform()
 	compute := Params{Name: "compute", CPICache: 1.0, BF: 0.01, MPKI: 0.1, WBR: 0.3}
 	heavy := hpcClass()
-	cpi, ops, err := PhaseCPI([]Phase{
+	cpi, ops, err := PhaseCPI(context.Background(), []Phase{
 		{Params: compute, Weight: 0.5},
 		{Params: heavy, Weight: 0.5},
 	}, pl)
@@ -133,13 +134,13 @@ func TestPhaseCPIHandlesMixedRegimes(t *testing.T) {
 
 func TestPhaseCPIErrors(t *testing.T) {
 	pl := testPlatform()
-	if _, _, err := PhaseCPI(nil, pl); err == nil {
+	if _, _, err := PhaseCPI(context.Background(), nil, pl); err == nil {
 		t.Fatal("want error for no phases")
 	}
-	if _, _, err := PhaseCPI([]Phase{{Params: bigDataClass(), Weight: 0.2}}, pl); err == nil {
+	if _, _, err := PhaseCPI(context.Background(), []Phase{{Params: bigDataClass(), Weight: 0.2}}, pl); err == nil {
 		t.Fatal("want error for bad weights")
 	}
-	if _, _, err := PhaseCPI([]Phase{{Params: Params{}, Weight: 1}}, pl); err == nil {
+	if _, _, err := PhaseCPI(context.Background(), []Phase{{Params: Params{}, Weight: 1}}, pl); err == nil {
 		t.Fatal("want error for invalid params")
 	}
 }

@@ -222,14 +222,11 @@ func (c *platformCase) point(out solve.Outcome) (OperatingPoint, error) {
 // and bandwidth demand, switching to the bandwidth-limited CPI when the
 // channel saturates. The iteration itself is the shared kernel in
 // internal/solve; this evaluator is the Eq. 1/4 adapter over it.
-func Evaluate(p Params, pl Platform) (OperatingPoint, error) {
-	return EvaluateCtx(context.Background(), p, pl)
-}
-
-// EvaluateCtx is Evaluate with a context: a solve.Recorder planted in
-// ctx (the engine's scheduler does this) observes the solver telemetry,
-// and cancellation is honored between batch points.
-func EvaluateCtx(ctx context.Context, p Params, pl Platform) (OperatingPoint, error) {
+//
+// A solve.Recorder planted in ctx (the engine's scheduler and the serve
+// layer do this) observes the solver telemetry, and cancellation is
+// honored between batch points.
+func Evaluate(ctx context.Context, p Params, pl Platform) (OperatingPoint, error) {
 	c, err := newPlatformCase(p, pl)
 	if err != nil {
 		return OperatingPoint{}, err
@@ -239,6 +236,13 @@ func EvaluateCtx(ctx context.Context, p Params, pl Platform) (OperatingPoint, er
 		return OperatingPoint{}, err
 	}
 	return c.point(out)
+}
+
+// EvaluateCtx is Evaluate under its pre-context-first name.
+//
+// Deprecated: Evaluate is context-first; call it directly.
+func EvaluateCtx(ctx context.Context, p Params, pl Platform) (OperatingPoint, error) {
+	return Evaluate(ctx, p, pl)
 }
 
 // EvaluateAll evaluates the full cross product of classes × platforms

@@ -1,6 +1,7 @@
 package model
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -73,7 +74,7 @@ func TestEvaluateLatencyLimitedClosedForm(t *testing.T) {
 	pl := testPlatform()
 	pl.Queue = queueing.MM1{Service: 0, ULimit: 0.95}
 	p := enterpriseClass()
-	op, err := Evaluate(p, pl)
+	op, err := Evaluate(context.Background(), p, pl)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +93,7 @@ func TestEvaluateLatencyLimitedClosedForm(t *testing.T) {
 func TestEvaluateHPCBandwidthBoundAtBaseline(t *testing.T) {
 	// §VI.C.3: "the workload class model for HPC is bandwidth bound even
 	// with four DDR3-1867 channels".
-	op, err := Evaluate(hpcClass(), testPlatform())
+	op, err := Evaluate(context.Background(), hpcClass(), testPlatform())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func TestEvaluateHPCBandwidthBoundAtBaseline(t *testing.T) {
 }
 
 func TestEvaluateEnterpriseUtilization(t *testing.T) {
-	op, err := Evaluate(enterpriseClass(), testPlatform())
+	op, err := Evaluate(context.Background(), enterpriseClass(), testPlatform())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,12 +120,12 @@ func TestEvaluateEnterpriseUtilization(t *testing.T) {
 }
 
 func TestEvaluateValidates(t *testing.T) {
-	if _, err := Evaluate(Params{}, testPlatform()); err == nil {
+	if _, err := Evaluate(context.Background(), Params{}, testPlatform()); err == nil {
 		t.Fatal("want param error")
 	}
 	pl := testPlatform()
 	pl.Queue = nil
-	if _, err := Evaluate(bigDataClass(), pl); err == nil {
+	if _, err := Evaluate(context.Background(), bigDataClass(), pl); err == nil {
 		t.Fatal("want platform error")
 	}
 }
@@ -140,11 +141,11 @@ func TestCPIMonotoneInLatency(t *testing.T) {
 			a, b = b, a
 		}
 		for _, c := range classes {
-			opA, err := Evaluate(c, pl.WithCompulsory(units.Duration(a)))
+			opA, err := Evaluate(context.Background(), c, pl.WithCompulsory(units.Duration(a)))
 			if err != nil {
 				return false
 			}
-			opB, err := Evaluate(c, pl.WithCompulsory(units.Duration(b)))
+			opB, err := Evaluate(context.Background(), c, pl.WithCompulsory(units.Duration(b)))
 			if err != nil {
 				return false
 			}
@@ -170,11 +171,11 @@ func TestCPIMonotoneInBandwidth(t *testing.T) {
 			a, b = b, a
 		}
 		for _, c := range classes {
-			opA, err := Evaluate(c, pl.WithPeakBW(units.GBpsOf(a)))
+			opA, err := Evaluate(context.Background(), c, pl.WithPeakBW(units.GBpsOf(a)))
 			if err != nil {
 				return false
 			}
-			opB, err := Evaluate(c, pl.WithPeakBW(units.GBpsOf(b)))
+			opB, err := Evaluate(context.Background(), c, pl.WithPeakBW(units.GBpsOf(b)))
 			if err != nil {
 				return false
 			}
@@ -191,7 +192,7 @@ func TestCPIMonotoneInBandwidth(t *testing.T) {
 
 func TestThroughputInvertsCPI(t *testing.T) {
 	pl := testPlatform()
-	op, err := Evaluate(bigDataClass(), pl)
+	op, err := Evaluate(context.Background(), bigDataClass(), pl)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,11 +211,11 @@ func TestFig11Headline(t *testing.T) {
 	// enterprise, ≈2.5% for big data, ≈0% for HPC.
 	pl := testPlatform()
 	measure := func(p Params) float64 {
-		base, err := Evaluate(p, pl)
+		base, err := Evaluate(context.Background(), p, pl)
 		if err != nil {
 			t.Fatal(err)
 		}
-		more, err := Evaluate(p, pl.WithCompulsory(85*units.Nanosecond))
+		more, err := Evaluate(context.Background(), p, pl.WithCompulsory(85*units.Nanosecond))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -234,11 +235,11 @@ func TestFig11Headline(t *testing.T) {
 func TestHPCBandwidthHeadline(t *testing.T) {
 	// Table 7: ~24% benefit for HPC from the last 1 GB/s/core.
 	pl := testPlatform()
-	base, err := Evaluate(hpcClass(), pl)
+	base, err := Evaluate(context.Background(), hpcClass(), pl)
 	if err != nil {
 		t.Fatal(err)
 	}
-	less, err := Evaluate(hpcClass(), pl.WithPeakBW(pl.PeakBW-units.GBpsOf(8)))
+	less, err := Evaluate(context.Background(), hpcClass(), pl.WithPeakBW(pl.PeakBW-units.GBpsOf(8)))
 	if err != nil {
 		t.Fatal(err)
 	}

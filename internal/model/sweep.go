@@ -102,14 +102,10 @@ func PaperBandwidthVariants() []BandwidthVariant {
 
 // BandwidthSweep evaluates the classes across bandwidth variants
 // (Fig. 8). DeltaPerCore is (variant − baseline) deliverable GB/s per
-// core, so the baseline sits at 0 and reductions are negative.
-func BandwidthSweep(baseline Platform, classes []Params, variants []BandwidthVariant) (Sweep, error) {
-	return BandwidthSweepCtx(context.Background(), baseline, classes, variants)
-}
-
-// BandwidthSweepCtx is BandwidthSweep with a context for solver
-// telemetry and cancellation of the point grid.
-func BandwidthSweepCtx(ctx context.Context, baseline Platform, classes []Params, variants []BandwidthVariant) (Sweep, error) {
+// core, so the baseline sits at 0 and reductions are negative. The
+// context carries solver telemetry and cancels the point grid between
+// points.
+func BandwidthSweep(ctx context.Context, baseline Platform, classes []Params, variants []BandwidthVariant) (Sweep, error) {
 	basePerCore := baseline.PerCoreBW().GBps()
 	pls := make([]Platform, len(variants))
 	for i, v := range variants {
@@ -122,15 +118,18 @@ func BandwidthSweepCtx(ctx context.Context, baseline Platform, classes []Params,
 	})
 }
 
-// LatencySweep evaluates the classes across compulsory-latency increases
-// (Fig. 10): steps of stepNS from the baseline, inclusive of 0.
-func LatencySweep(baseline Platform, classes []Params, steps int, stepNS float64) (Sweep, error) {
-	return LatencySweepCtx(context.Background(), baseline, classes, steps, stepNS)
+// BandwidthSweepCtx is BandwidthSweep under its pre-context-first name.
+//
+// Deprecated: BandwidthSweep is context-first; call it directly.
+func BandwidthSweepCtx(ctx context.Context, baseline Platform, classes []Params, variants []BandwidthVariant) (Sweep, error) {
+	return BandwidthSweep(ctx, baseline, classes, variants)
 }
 
-// LatencySweepCtx is LatencySweep with a context for solver telemetry
-// and cancellation of the point grid.
-func LatencySweepCtx(ctx context.Context, baseline Platform, classes []Params, steps int, stepNS float64) (Sweep, error) {
+// LatencySweep evaluates the classes across compulsory-latency increases
+// (Fig. 10): steps of stepNS from the baseline, inclusive of 0. The
+// context carries solver telemetry and cancels the point grid between
+// points.
+func LatencySweep(ctx context.Context, baseline Platform, classes []Params, steps int, stepNS float64) (Sweep, error) {
 	if steps < 1 {
 		return Sweep{}, errors.New("model: LatencySweep needs at least one step")
 	}
@@ -144,6 +143,13 @@ func LatencySweepCtx(ctx context.Context, baseline Platform, classes []Params, s
 	return runSweep(ctx, baseline, classes, pls, func(pl Platform) float64 {
 		return float64(pl.Compulsory - baseline.Compulsory)
 	})
+}
+
+// LatencySweepCtx is LatencySweep under its pre-context-first name.
+//
+// Deprecated: LatencySweep is context-first; call it directly.
+func LatencySweepCtx(ctx context.Context, baseline Platform, classes []Params, steps int, stepNS float64) (Sweep, error) {
+	return LatencySweep(ctx, baseline, classes, steps, stepNS)
 }
 
 // DerivativePoint is one entry of Figs. 9/11: the performance impact of

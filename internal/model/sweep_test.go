@@ -1,6 +1,7 @@
 package model
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -12,7 +13,7 @@ func allClasses() []Params {
 }
 
 func TestBandwidthSweepShape(t *testing.T) {
-	sweep, err := BandwidthSweep(testPlatform(), allClasses(), PaperBandwidthVariants())
+	sweep, err := BandwidthSweep(context.Background(), testPlatform(), allClasses(), PaperBandwidthVariants())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +49,7 @@ func TestBandwidthSweepShape(t *testing.T) {
 func TestBigDataKneeNear2500MBs(t *testing.T) {
 	// Fig. 8: big data "does show significant impact when peak bandwidth
 	// is reduced by more than 2.5GB/s per core".
-	sweep, err := BandwidthSweep(testPlatform(), []Params{bigDataClass()}, PaperBandwidthVariants())
+	sweep, err := BandwidthSweep(context.Background(), testPlatform(), []Params{bigDataClass()}, PaperBandwidthVariants())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +65,7 @@ func TestBigDataKneeNear2500MBs(t *testing.T) {
 }
 
 func TestLatencySweepShape(t *testing.T) {
-	sweep, err := LatencySweep(testPlatform(), allClasses(), 6, 10)
+	sweep, err := LatencySweep(context.Background(), testPlatform(), allClasses(), 6, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,10 +91,10 @@ func TestLatencySweepShape(t *testing.T) {
 }
 
 func TestLatencySweepErrors(t *testing.T) {
-	if _, err := LatencySweep(testPlatform(), allClasses(), 0, 10); err == nil {
+	if _, err := LatencySweep(context.Background(), testPlatform(), allClasses(), 0, 10); err == nil {
 		t.Fatal("want error for zero steps")
 	}
-	if _, err := LatencySweep(testPlatform(), nil, 3, 10); err == nil {
+	if _, err := LatencySweep(context.Background(), testPlatform(), nil, 3, 10); err == nil {
 		t.Fatal("want error for no classes")
 	}
 }
@@ -158,13 +159,13 @@ func TestEquivalencesHeadlines(t *testing.T) {
 }
 
 func TestRunSweepErrorsOnNoClasses(t *testing.T) {
-	if _, err := BandwidthSweep(testPlatform(), nil, PaperBandwidthVariants()); err == nil {
+	if _, err := BandwidthSweep(context.Background(), testPlatform(), nil, PaperBandwidthVariants()); err == nil {
 		t.Fatal("want error")
 	}
 }
 
 func TestSweepPointOpsPopulated(t *testing.T) {
-	sweep, err := LatencySweep(testPlatform(), allClasses(), 1, 10)
+	sweep, err := LatencySweep(context.Background(), testPlatform(), allClasses(), 1, 10)
 	if err != nil {
 		t.Fatal(err)
 	}

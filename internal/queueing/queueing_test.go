@@ -1,6 +1,7 @@
 package queueing
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -166,7 +167,7 @@ func TestSolveConstantDemand(t *testing.T) {
 		Curve:      MM1{Service: 6 * units.Nanosecond, ULimit: 0.95},
 	}
 	demand := func(units.Duration) units.BytesPerSecond { return units.GBpsOf(20) }
-	sol, err := Solve(sys, demand, SolveOptions{})
+	sol, err := Solve(context.Background(), sys, demand, SolveOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +190,7 @@ func TestSolveSaturated(t *testing.T) {
 		Curve:      MM1{Service: 6 * units.Nanosecond, ULimit: 0.95},
 	}
 	demand := func(units.Duration) units.BytesPerSecond { return units.GBpsOf(400) }
-	sol, err := Solve(sys, demand, SolveOptions{})
+	sol, err := Solve(context.Background(), sys, demand, SolveOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,11 +218,11 @@ func TestSolveMatchesDampedOnShallowCurve(t *testing.T) {
 		Curve:      MM1{Service: 6 * units.Nanosecond, ULimit: 0.95},
 	}
 	demand := eq1Demand(1.47, 0.41, 0.0067, 0.545, 2.5, 16)
-	bis, err := Solve(sys, demand, SolveOptions{})
+	bis, err := Solve(context.Background(), sys, demand, SolveOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	damp, err := SolveDamped(sys, demand, SolveOptions{})
+	damp, err := SolveDamped(context.Background(), sys, demand, SolveOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -239,7 +240,7 @@ func TestSolveConvergesNearSaturation(t *testing.T) {
 		Curve:      MM1{Service: 6 * units.Nanosecond, ULimit: 0.95},
 	}
 	demand := eq1Demand(0.75, 0.07, 0.0267, 2.17, 2.5, 16)
-	sol, err := Solve(sys, demand, SolveOptions{})
+	sol, err := Solve(context.Background(), sys, demand, SolveOptions{})
 	if err != nil {
 		t.Fatalf("bisection must converge near saturation: %v", err)
 	}
@@ -264,7 +265,7 @@ func TestSolveFixedPointProperty(t *testing.T) {
 		}
 		bpi := mpki / 1000 * 1.3 * 64
 		demand := eq1Demand(1.0, bf, mpki/1000, bpi, 2.5, 16)
-		sol, err := Solve(sys, demand, SolveOptions{})
+		sol, err := Solve(context.Background(), sys, demand, SolveOptions{})
 		if err != nil {
 			return false
 		}
@@ -287,7 +288,7 @@ func TestSolveDegenerateCurve(t *testing.T) {
 		PeakBW:     units.GBpsOf(42),
 		Curve:      MM1{Service: 0, ULimit: 0.95},
 	}
-	sol, err := Solve(sys, func(units.Duration) units.BytesPerSecond { return units.GBpsOf(10) }, SolveOptions{})
+	sol, err := Solve(context.Background(), sys, func(units.Duration) units.BytesPerSecond { return units.GBpsOf(10) }, SolveOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -303,10 +304,10 @@ func TestSolveOptionsDefaults(t *testing.T) {
 	// and a literal damping of 2 overshoots instead of converging.
 	sys := System{Compulsory: 75, PeakBW: 40e9, Curve: MM1{Service: 6}}
 	demand := func(units.Duration) units.BytesPerSecond { return 20e9 }
-	if _, err := Solve(sys, demand, SolveOptions{TolNS: -1, MaxIter: -1, Damping: -1}); err != nil {
+	if _, err := Solve(context.Background(), sys, demand, SolveOptions{TolNS: -1, MaxIter: -1, Damping: -1}); err != nil {
 		t.Fatalf("zero/out-of-range options must default: %v", err)
 	}
-	if _, err := SolveDamped(sys, demand, SolveOptions{Damping: 2}); err != nil {
+	if _, err := SolveDamped(context.Background(), sys, demand, SolveOptions{Damping: 2}); err != nil {
 		t.Fatalf("out-of-range damping must default: %v", err)
 	}
 }

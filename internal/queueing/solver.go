@@ -146,17 +146,19 @@ func kernel(o SolveOptions, m solve.Method) solve.Solver {
 // SolveDamped, kept for the solver ablation).
 //
 // The iteration itself lives in internal/solve; this is the
-// queueing-typed adapter over that kernel.
-func Solve(sys System, demand DemandFunc, opts SolveOptions) (Solution, error) {
-	return SolveCtx(context.Background(), sys, demand, opts)
-}
-
-// SolveCtx is Solve with a context: a solve.Recorder planted in ctx
-// observes the solver telemetry (iterations, residual, convergence) for
-// this fixed point.
-func SolveCtx(ctx context.Context, sys System, demand DemandFunc, opts SolveOptions) (Solution, error) {
+// queueing-typed adapter over that kernel. A solve.Recorder planted in
+// ctx observes the solver telemetry (iterations, residual, convergence)
+// for this fixed point.
+func Solve(ctx context.Context, sys System, demand DemandFunc, opts SolveOptions) (Solution, error) {
 	out, err := kernel(opts, solve.Bisect).Solve(ctx, sys.Scenario("queueing", demand))
 	return sys.solution(out, demand), err
+}
+
+// SolveCtx is Solve under its pre-context-first name.
+//
+// Deprecated: Solve is context-first; call it directly.
+func SolveCtx(ctx context.Context, sys System, demand DemandFunc, opts SolveOptions) (Solution, error) {
+	return Solve(ctx, sys, demand, opts)
 }
 
 // SolveDamped is the direct damped fixed-point iteration (the "iterative
@@ -164,7 +166,7 @@ func SolveCtx(ctx context.Context, sys System, demand DemandFunc, opts SolveOpti
 // curve but can oscillate near saturation; Solve's bisection is the
 // production path, and this variant exists for the solver ablation
 // (DESIGN.md §5).
-func SolveDamped(sys System, demand DemandFunc, opts SolveOptions) (Solution, error) {
-	out, err := kernel(opts, solve.Damped).Solve(context.Background(), sys.Scenario("queueing-damped", demand))
+func SolveDamped(ctx context.Context, sys System, demand DemandFunc, opts SolveOptions) (Solution, error) {
+	out, err := kernel(opts, solve.Damped).Solve(ctx, sys.Scenario("queueing-damped", demand))
 	return sys.solution(out, demand), err
 }

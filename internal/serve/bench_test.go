@@ -12,7 +12,7 @@ import (
 // scenario already in the cache — decode, canonicalize, admission, LRU
 // hit, encode. This is the daemon's steady-state throughput ceiling.
 func BenchmarkEvaluateCacheHit(b *testing.B) {
-	h := New(Config{}).Handler()
+	h := New().Handler()
 	body := `{"params":{"class":"bigdata"},"platform":{}}`
 	warm := httptest.NewRequest(http.MethodPost, "/v1/evaluate", strings.NewReader(body))
 	w := httptest.NewRecorder()
@@ -37,7 +37,7 @@ func BenchmarkEvaluateCacheHit(b *testing.B) {
 // a distinct scenario, forcing a fixed-point solve each time. The gap
 // to BenchmarkEvaluateCacheHit is what the scenario cache buys.
 func BenchmarkEvaluateColdSolve(b *testing.B) {
-	h := New(Config{CacheSize: 1}).Handler()
+	h := New(WithCacheSize(1)).Handler()
 
 	b.ReportAllocs()
 	b.ResetTimer()

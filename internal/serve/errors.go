@@ -1,0 +1,97 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"strconv"
+
+	"repro/internal/model"
+	"repro/internal/solve"
+)
+
+// Stable machine-readable error codes: every non-2xx reply carries one
+// of these in the envelope's error.code field. Clients branch on the
+// code, never on the human-readable message.
+const (
+	// CodeBadRequest: the body failed to decode (malformed JSON, unknown
+	// field, oversized payload).
+	CodeBadRequest = "bad_request"
+	// CodeInvalidParams: the workload spec failed validation.
+	CodeInvalidParams = "invalid_params"
+	// CodeInvalidPlatform: the platform or sweep spec failed validation.
+	CodeInvalidPlatform = "invalid_platform"
+	// CodeMethodNotAllowed: wrong HTTP method for the endpoint.
+	CodeMethodNotAllowed = "method_not_allowed"
+	// CodeOverloaded: admission shed the request (429 + Retry-After).
+	CodeOverloaded = "overloaded"
+	// CodeDeadlineExceeded: the evaluation ran past the server's
+	// per-request deadline (504).
+	CodeDeadlineExceeded = "deadline_exceeded"
+	// CodeUnavailable: the request ended before completion — client
+	// disconnect or server drain (503 + Retry-After).
+	CodeUnavailable = "unavailable"
+	// CodeNoConvergence: the fixed-point solver exhausted its iteration
+	// budget (422).
+	CodeNoConvergence = "no_convergence"
+	// CodeFaultInjected: the chaos middleware manufactured this failure;
+	// only seen with fault injection armed (500 or 503 + Retry-After).
+	CodeFaultInjected = "fault_injected"
+	// CodeInternal: anything else (500).
+	CodeInternal = "internal"
+)
+
+// ErrorDetail is the unified error payload: a stable code, a
+// human-readable message, and optional structured details.
+type ErrorDetail struct {
+	Code    string         `json:"code"`
+	Message string         `json:"message"`
+	Details map[string]any `json:"details,omitempty"`
+}
+
+// ErrorBody is the JSON envelope every non-2xx reply carries:
+// {"error":{"code":..., "message":..., "details":...}} across every
+// endpoint.
+type ErrorBody struct {
+	Error ErrorDetail `json:"error"`
+}
+
+// classify maps evaluation errors onto (HTTP status, wire code):
+// validation sentinels to 400, shed load to 429, deadlines to 504,
+// disconnects to 503, non-convergence to 422, anything else to 500.
+func classify(err error) (int, string) {
+	switch {
+	case errors.Is(err, model.ErrInvalidParams):
+		return http.StatusBadRequest, CodeInvalidParams
+	case errors.Is(err, model.ErrInvalidPlatform):
+		return http.StatusBadRequest, CodeInvalidPlatform
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusTooManyRequests, CodeOverloaded
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, CodeDeadlineExceeded
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable, CodeUnavailable
+	case errors.Is(err, solve.ErrNoConvergence):
+		return http.StatusUnprocessableEntity, CodeNoConvergence
+	default:
+		return http.StatusInternalServerError, CodeInternal
+	}
+}
+
+// retryAfterSeconds is the hint carried by every 429 and 503.
+const retryAfterSeconds = 1
+
+// setRetryAfter stamps the Retry-After contract: every 429 and 503
+// carries the header so clients can pace their backoff.
+func setRetryAfter(h http.Header, status int) {
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		h.Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+	}
+}
+
+// writeError renders the unified envelope, honoring the Retry-After
+// contract for shedding statuses.
+func writeError(w http.ResponseWriter, status int, code, msg string, details map[string]any) {
+	setRetryAfter(w.Header(), status)
+	writeJSON(w, status, ErrorBody{Error: ErrorDetail{Code: code, Message: msg, Details: details}})
+}

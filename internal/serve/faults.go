@@ -1,0 +1,124 @@
+package serve
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// FaultConfig tunes the server-side fault-injection middleware: each
+// /v1 request independently rolls for added latency, an injected 500,
+// an injected 503, and a dropped connection. The rolls are driven by a
+// single seeded generator, so a given (seed, request order) replays the
+// same fault sequence — chaos runs are reproducible. Probabilities are
+// in [0,1]; the zero value disables injection entirely.
+type FaultConfig struct {
+	// Seed fixes the pseudo-random fault sequence.
+	Seed int64
+	// LatencyP is the probability of adding Latency before the request
+	// is handled. Latency <= 0 with LatencyP > 0 means 30 ms.
+	LatencyP float64
+	Latency  time.Duration
+	// ErrorP is the probability of replying 500 without evaluating.
+	ErrorP float64
+	// UnavailableP is the probability of replying 503 (with Retry-After)
+	// without evaluating.
+	UnavailableP float64
+	// DropP is the probability of severing the connection mid-request
+	// with no response at all — the client sees a transport error.
+	DropP float64
+}
+
+// Enabled reports whether any fault has a non-zero probability.
+func (fc FaultConfig) Enabled() bool {
+	return fc.LatencyP > 0 || fc.ErrorP > 0 || fc.UnavailableP > 0 || fc.DropP > 0
+}
+
+// faultOutcome is the terminal fate a roll assigns a request (on top of
+// any added latency).
+type faultOutcome int
+
+const (
+	faultNone faultOutcome = iota
+	faultError
+	faultUnavailable
+	faultDrop
+)
+
+// faultAction is one request's injected behavior.
+type faultAction struct {
+	delay   time.Duration
+	outcome faultOutcome
+}
+
+// faultInjector owns the seeded generator and the injection counters.
+type faultInjector struct {
+	cfg FaultConfig
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	latencies   atomic.Int64
+	errors      atomic.Int64
+	unavailable atomic.Int64
+	drops       atomic.Int64
+}
+
+func newFaultInjector(cfg FaultConfig) *faultInjector {
+	if !cfg.Enabled() {
+		return nil
+	}
+	if cfg.Latency <= 0 {
+		cfg.Latency = 30 * time.Millisecond
+	}
+	return &faultInjector{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// roll draws this request's fate. Every request consumes exactly four
+// draws regardless of which faults fire, so the sequence stays aligned
+// with the request order whatever the configured probabilities are.
+func (f *faultInjector) roll() faultAction {
+	f.mu.Lock()
+	rLat, rDrop, rErr, rUnavail := f.rng.Float64(), f.rng.Float64(), f.rng.Float64(), f.rng.Float64()
+	f.mu.Unlock()
+
+	var act faultAction
+	if rLat < f.cfg.LatencyP {
+		act.delay = f.cfg.Latency
+		f.latencies.Add(1)
+	}
+	switch {
+	case rDrop < f.cfg.DropP:
+		act.outcome = faultDrop
+		f.drops.Add(1)
+	case rErr < f.cfg.ErrorP:
+		act.outcome = faultError
+		f.errors.Add(1)
+	case rUnavail < f.cfg.UnavailableP:
+		act.outcome = faultUnavailable
+		f.unavailable.Add(1)
+	}
+	return act
+}
+
+// FaultStats is a point-in-time copy of the injection counters.
+type FaultStats struct {
+	Latencies   int64 // requests that had latency added
+	Errors      int64 // injected 500s
+	Unavailable int64 // injected 503s
+	Drops       int64 // severed connections
+}
+
+// Stats snapshots the counters; a nil injector reports zeros.
+func (f *faultInjector) Stats() FaultStats {
+	if f == nil {
+		return FaultStats{}
+	}
+	return FaultStats{
+		Latencies:   f.latencies.Load(),
+		Errors:      f.errors.Load(),
+		Unavailable: f.unavailable.Load(),
+		Drops:       f.drops.Load(),
+	}
+}

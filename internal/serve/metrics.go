@@ -99,7 +99,7 @@ func (m *Metrics) endpoint(name string) *endpointMetrics { return m.endpoints[na
 
 // render writes the Prometheus text exposition of every counter the
 // daemon tracks.
-func (m *Metrics) render(w io.Writer, cache CacheStats, adm AdmissionStats, draining bool) {
+func (m *Metrics) render(w io.Writer, cache CacheStats, adm AdmissionStats, faults FaultStats, draining bool) {
 	up := 1
 	if draining {
 		up = 0
@@ -138,6 +138,11 @@ func (m *Metrics) render(w io.Writer, cache CacheStats, adm AdmissionStats, drai
 	fmt.Fprintf(w, "memmodeld_admission_queued %d\n", adm.Queued)
 	fmt.Fprintf(w, "memmodeld_admission_admitted_total %d\n", adm.Admitted)
 	fmt.Fprintf(w, "memmodeld_admission_shed_total %d\n", adm.Shed)
+
+	fmt.Fprintf(w, "memmodeld_faults_injected_total{kind=\"latency\"} %d\n", faults.Latencies)
+	fmt.Fprintf(w, "memmodeld_faults_injected_total{kind=\"error\"} %d\n", faults.Errors)
+	fmt.Fprintf(w, "memmodeld_faults_injected_total{kind=\"unavailable\"} %d\n", faults.Unavailable)
+	fmt.Fprintf(w, "memmodeld_faults_injected_total{kind=\"drop\"} %d\n", faults.Drops)
 
 	st := m.Solver.Stats()
 	fmt.Fprintf(w, "memmodeld_solver_solves_total %d\n", st.Solves)

@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"context"
+	"runtime"
+	"time"
+)
+
+// Clock abstracts the time source the server's fault hooks use, so
+// chaos tests can inject latency without real sleeps. The zero
+// configuration uses the system clock.
+type Clock interface {
+	Now() time.Time
+	// Sleep blocks for d or until ctx ends, whichever comes first.
+	Sleep(ctx context.Context, d time.Duration)
+}
+
+// systemClock is the production Clock.
+type systemClock struct{}
+
+func (systemClock) Now() time.Time { return time.Now() }
+
+func (systemClock) Sleep(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
+
+// config collects everything an Option can tune. Defaults are the
+// production values the daemon has always shipped with.
+type config struct {
+	cacheSize      int
+	maxConcurrent  int
+	maxQueue       int
+	requestTimeout time.Duration
+	faults         FaultConfig
+	clock          Clock
+}
+
+func defaults() config {
+	return config{
+		cacheSize:      4096,
+		maxConcurrent:  runtime.GOMAXPROCS(0),
+		maxQueue:       64,
+		requestTimeout: 10 * time.Second,
+		clock:          systemClock{},
+	}
+}
+
+// Option tunes the Server at construction; see New.
+type Option func(*config)
+
+// WithCacheSize sets the scenario cache capacity in entries; values
+// <= 0 keep the 4096-entry default.
+func WithCacheSize(entries int) Option {
+	return func(c *config) {
+		if entries > 0 {
+			c.cacheSize = entries
+		}
+	}
+}
+
+// WithAdmission bounds simultaneous evaluations and the queue of
+// requests waiting for a slot before the daemon sheds with 429.
+// Non-positive concurrency keeps GOMAXPROCS; negative queue keeps 64.
+func WithAdmission(concurrent, queue int) Option {
+	return func(c *config) {
+		if concurrent > 0 {
+			c.maxConcurrent = concurrent
+		}
+		if queue >= 0 {
+			c.maxQueue = queue
+		}
+	}
+}
+
+// WithRequestTimeout sets the per-request evaluation deadline; values
+// <= 0 keep the 10 s default.
+func WithRequestTimeout(d time.Duration) Option {
+	return func(c *config) {
+		if d > 0 {
+			c.requestTimeout = d
+		}
+	}
+}
+
+// WithFaults arms the deterministic fault-injection middleware on the
+// /v1 endpoints. A zero FaultConfig leaves injection disabled.
+func WithFaults(fc FaultConfig) Option {
+	return func(c *config) { c.faults = fc }
+}
+
+// WithClock replaces the time source the fault hooks use — the test
+// seam that lets chaos suites inject latency without real sleeps.
+func WithClock(clk Clock) Option {
+	return func(c *config) {
+		if clk != nil {
+			c.clock = clk
+		}
+	}
+}

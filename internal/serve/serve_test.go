@@ -36,7 +36,7 @@ func doJSON(t *testing.T, h http.Handler, method, path, body string) (int, []byt
 }
 
 func TestEndpointsBasic(t *testing.T) {
-	h := New(Config{}).Handler()
+	h := New().Handler()
 
 	cases := []struct {
 		path, body, want string
@@ -69,7 +69,7 @@ func TestEndpointsBasic(t *testing.T) {
 }
 
 func TestEvaluateMatchesDirectModelCall(t *testing.T) {
-	h := New(Config{}).Handler()
+	h := New().Handler()
 	status, blob, _ := doJSON(t, h, http.MethodPost, "/v1/evaluate",
 		`{"params":{"class":"bigdata"},"platform":{}}`)
 	if status != http.StatusOK {
@@ -94,7 +94,7 @@ func TestEvaluateMatchesDirectModelCall(t *testing.T) {
 }
 
 func TestCacheHitOnRepeat(t *testing.T) {
-	s := New(Config{})
+	s := New()
 	h := s.Handler()
 	body := `{"params":{"class":"enterprise"},"platform":{"compulsory_ns":120}}`
 
@@ -136,7 +136,7 @@ func TestCacheHitOnRepeat(t *testing.T) {
 }
 
 func TestBadRequests(t *testing.T) {
-	h := New(Config{}).Handler()
+	h := New().Handler()
 	cases := []struct {
 		name, method, path, body string
 		want                     int
@@ -158,15 +158,15 @@ func TestBadRequests(t *testing.T) {
 			continue
 		}
 		var eb ErrorBody
-		if err := json.Unmarshal(blob, &eb); err != nil || eb.Error == "" {
-			t.Errorf("%s: reply is not an error envelope: %s", tc.name, blob)
+		if err := json.Unmarshal(blob, &eb); err != nil || eb.Error.Code == "" || eb.Error.Message == "" {
+			t.Errorf("%s: reply is not a unified error envelope: %s", tc.name, blob)
 		}
 	}
 }
 
 func TestSingleflightCollapseOverHTTP(t *testing.T) {
 	const n = 16
-	s := New(Config{MaxConcurrent: n, MaxQueue: n})
+	s := New(WithAdmission(n, n))
 	gate := make(chan struct{})
 	started := make(chan struct{})
 	var startOnce sync.Once
@@ -217,7 +217,7 @@ func TestSingleflightCollapseOverHTTP(t *testing.T) {
 
 func TestSheddingReturns429(t *testing.T) {
 	const n = 8
-	s := New(Config{MaxConcurrent: 1, MaxQueue: 1})
+	s := New(WithAdmission(1, 1))
 	gate := make(chan struct{})
 	s.testHookSolve = func() { <-gate }
 	h := s.Handler()
@@ -269,7 +269,7 @@ func TestSheddingReturns429(t *testing.T) {
 // listener: Drain flips /healthz to 503 while an in-flight solve runs to
 // completion under http.Server.Shutdown.
 func TestGracefulDrain(t *testing.T) {
-	s := New(Config{})
+	s := New()
 	gate := make(chan struct{})
 	started := make(chan struct{})
 	var startOnce sync.Once
@@ -369,7 +369,7 @@ func TestConcurrentLoad(t *testing.T) {
 		scenarios  = 8
 		total      = goroutines * perG
 	)
-	s := New(Config{CacheSize: 1024, MaxConcurrent: 8, MaxQueue: total, RequestTimeout: 30 * time.Second})
+	s := New(WithCacheSize(1024), WithAdmission(8, total), WithRequestTimeout(30*time.Second))
 	h := s.Handler()
 
 	mix := make([]string, scenarios)
@@ -455,7 +455,7 @@ func TestConcurrentLoad(t *testing.T) {
 
 // Guard against the handler ever writing a non-JSON error body.
 func TestErrorsAreJSON(t *testing.T) {
-	h := New(Config{}).Handler()
+	h := New().Handler()
 	status, blob, hdr := doJSON(t, h, http.MethodPost, "/v1/evaluate", `not json at all`)
 	if status != http.StatusBadRequest {
 		t.Fatalf("status = %d, want 400", status)

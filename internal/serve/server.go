@@ -3,49 +3,14 @@ package serve
 import (
 	"context"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"net/http"
-	"runtime"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/model"
 	"repro/internal/solve"
 )
-
-// Config tunes the service layer. The zero value serves with sensible
-// production defaults.
-type Config struct {
-	// CacheSize is the scenario cache capacity in entries; <= 0 means
-	// 4096.
-	CacheSize int
-	// MaxConcurrent bounds simultaneous evaluations; <= 0 means
-	// GOMAXPROCS.
-	MaxConcurrent int
-	// MaxQueue bounds requests waiting for an evaluation slot before the
-	// daemon sheds with 429; <= 0 means 64.
-	MaxQueue int
-	// RequestTimeout is the per-request evaluation deadline; <= 0 means
-	// 10s.
-	RequestTimeout time.Duration
-}
-
-func (c Config) withDefaults() Config {
-	if c.CacheSize <= 0 {
-		c.CacheSize = 4096
-	}
-	if c.MaxConcurrent <= 0 {
-		c.MaxConcurrent = runtime.GOMAXPROCS(0)
-	}
-	if c.MaxQueue <= 0 {
-		c.MaxQueue = 64
-	}
-	if c.RequestTimeout <= 0 {
-		c.RequestTimeout = 10 * time.Second
-	}
-	return c
-}
 
 // endpoint names, also the /metrics labels.
 const (
@@ -68,12 +33,16 @@ const (
 
 // Server is the model-evaluation service: four JSON evaluation
 // endpoints over the unified solve kernel, fronted by the scenario
-// cache and the admission controller, plus /healthz and /metrics.
+// cache and the admission controller, plus /healthz and /metrics. An
+// optional fault-injection middleware (WithFaults) manufactures
+// deterministic chaos on the /v1 endpoints.
 type Server struct {
-	cfg     Config
+	cfg     config
 	cache   *Cache
 	adm     *Admission
 	metrics *Metrics
+	faults  *faultInjector
+	clock   Clock
 
 	draining atomic.Bool
 
@@ -82,14 +51,21 @@ type Server struct {
 	testHookSolve func()
 }
 
-// New builds a Server from cfg.
-func New(cfg Config) *Server {
-	cfg = cfg.withDefaults()
+// New builds a Server. The zero-option call serves with production
+// defaults; see WithCacheSize, WithAdmission, WithRequestTimeout,
+// WithFaults, and WithClock.
+func New(opts ...Option) *Server {
+	cfg := defaults()
+	for _, o := range opts {
+		o(&cfg)
+	}
 	return &Server{
 		cfg:     cfg,
-		cache:   NewCache(cfg.CacheSize),
-		adm:     NewAdmission(cfg.MaxConcurrent, cfg.MaxQueue),
+		cache:   NewCache(cfg.cacheSize),
+		adm:     NewAdmission(cfg.maxConcurrent, cfg.maxQueue),
 		metrics: newMetrics([]string{epEvaluate, epTiered, epNUMA, epSweep}),
+		faults:  newFaultInjector(cfg.faults),
+		clock:   cfg.clock,
 	}
 }
 
@@ -118,10 +94,16 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 // record the daemon prints after a graceful drain.
 func (s *Server) StatsLine() string {
 	cs, as, st := s.cache.Stats(), s.adm.Stats(), s.metrics.Solver.Stats()
-	return fmt.Sprintf(
+	line := fmt.Sprintf(
 		"cache %d hits / %d shared / %d misses / %d evictions (hit ratio %.1f%%); admitted %d, shed %d; solver %d solves, %d iterations, %d bandwidth-limited, worst residual %.2g",
 		cs.Hits, cs.Shared, cs.Misses, cs.Evictions, 100*cs.HitRatio(),
 		as.Admitted, as.Shed, st.Solves, st.Iterations, st.BandwidthLimited, st.MaxResidual)
+	if s.faults != nil {
+		fs := s.faults.Stats()
+		line += fmt.Sprintf("; faults injected: %d latency, %d error, %d unavailable, %d drop",
+			fs.Latencies, fs.Errors, fs.Unavailable, fs.Drops)
+	}
+	return line
 }
 
 // preparation is a validated request ready to evaluate: the canonical
@@ -143,41 +125,69 @@ func (r TieredResponse) markCached() any   { r.Cached = true; return r }
 func (r NUMAResponse) markCached() any     { r.Cached = true; return r }
 func (r SweepResponse) markCached() any    { r.Cached = true; return r }
 
-// post wraps one endpoint: method check, bounded decode, admission,
-// per-request deadline, cached evaluation, and error mapping, with the
-// endpoint's latency and status recorded on the way out.
+// post wraps one endpoint: fault injection (when armed), method check,
+// bounded decode, admission, per-request deadline, cached evaluation,
+// and error mapping, with the endpoint's latency and status recorded on
+// the way out.
 func (s *Server) post(name string, prepare prepareFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		t0 := time.Now()
 		status := http.StatusOK
 		defer func() { s.metrics.endpoint(name).record(status, time.Since(t0)) }()
 
+		if s.faults != nil {
+			act := s.faults.roll()
+			if act.delay > 0 {
+				s.clock.Sleep(r.Context(), act.delay)
+			}
+			switch act.outcome {
+			case faultError:
+				status = http.StatusInternalServerError
+				writeError(w, status, CodeFaultInjected, "injected internal error", nil)
+				return
+			case faultUnavailable:
+				status = http.StatusServiceUnavailable
+				writeError(w, status, CodeFaultInjected, "injected unavailable", nil)
+				return
+			case faultDrop:
+				// Sever the connection with no response: net/http aborts
+				// cleanly on ErrAbortHandler, the client sees a transport
+				// error.
+				status = http.StatusInternalServerError
+				panic(http.ErrAbortHandler)
+			}
+		}
+
 		if r.Method != http.MethodPost {
 			status = http.StatusMethodNotAllowed
-			writeError(w, status, "POST only")
+			writeError(w, status, CodeMethodNotAllowed, "POST only", nil)
 			return
 		}
 		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 		dec.DisallowUnknownFields()
 		prep, err := prepare(dec)
 		if err != nil {
-			status = http.StatusBadRequest
-			writeError(w, status, err.Error())
+			var code string
+			status, code = classify(err)
+			if code == CodeInternal {
+				// Decode failures carry no sentinel; they are the caller's
+				// malformed body, not our fault.
+				status, code = http.StatusBadRequest, CodeBadRequest
+			}
+			writeError(w, status, code, err.Error(), nil)
 			return
 		}
 
 		release, err := s.adm.Acquire(r.Context())
 		if err != nil {
-			status = statusFor(err)
-			if errors.Is(err, ErrOverloaded) {
-				w.Header().Set("Retry-After", "1")
-			}
-			writeError(w, status, err.Error())
+			var code string
+			status, code = classify(err)
+			writeError(w, status, code, err.Error(), nil)
 			return
 		}
 		defer release()
 
-		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.requestTimeout)
 		defer cancel()
 
 		val, cached, err := s.cache.Do(ctx, prep.key, func() (any, error) {
@@ -187,34 +197,15 @@ func (s *Server) post(name string, prepare prepareFunc) http.HandlerFunc {
 			return prep.run(ctx)
 		})
 		if err != nil {
-			status = statusFor(err)
-			writeError(w, status, err.Error())
+			var code string
+			status, code = classify(err)
+			writeError(w, status, code, err.Error(), nil)
 			return
 		}
 		if cached {
 			val = val.(cachedMarker).markCached()
 		}
 		writeJSON(w, http.StatusOK, val)
-	}
-}
-
-// statusFor maps evaluation errors onto HTTP statuses: validation
-// sentinels to 400, shed load to 429, deadlines to 504, disconnects to
-// 503, non-convergence to 422, anything else to 500.
-func statusFor(err error) int {
-	switch {
-	case errors.Is(err, model.ErrInvalidParams) || errors.Is(err, model.ErrInvalidPlatform):
-		return http.StatusBadRequest
-	case errors.Is(err, ErrOverloaded):
-		return http.StatusTooManyRequests
-	case errors.Is(err, context.DeadlineExceeded):
-		return http.StatusGatewayTimeout
-	case errors.Is(err, context.Canceled):
-		return http.StatusServiceUnavailable
-	case errors.Is(err, solve.ErrNoConvergence):
-		return http.StatusUnprocessableEntity
-	default:
-		return http.StatusInternalServerError
 	}
 }
 
@@ -242,7 +233,7 @@ func (s *Server) prepareEvaluate(dec *json.Decoder) (preparation, error) {
 		key: model.ScenarioKey("evaluate", model.CanonicalParams(p), model.CanonicalPlatform(pl)),
 		run: func(ctx context.Context) (any, error) {
 			ctx, agg := s.record(ctx)
-			op, err := model.EvaluateCtx(ctx, p, pl)
+			op, err := model.Evaluate(ctx, p, pl)
 			if err != nil {
 				return nil, err
 			}
@@ -273,7 +264,7 @@ func (s *Server) prepareTiered(dec *json.Decoder) (preparation, error) {
 		key: model.ScenarioKey("tiered", model.CanonicalParams(p), model.CanonicalTiered(tp)),
 		run: func(ctx context.Context) (any, error) {
 			ctx, agg := s.record(ctx)
-			op, err := model.EvaluateTieredCtx(ctx, p, tp)
+			op, err := model.EvaluateTiered(ctx, p, tp)
 			if err != nil {
 				return nil, err
 			}
@@ -315,7 +306,7 @@ func (s *Server) prepareNUMA(dec *json.Decoder) (preparation, error) {
 		key: model.ScenarioKey("numa", model.CanonicalParams(p), model.CanonicalNUMA(np)),
 		run: func(ctx context.Context) (any, error) {
 			ctx, agg := s.record(ctx)
-			op, err := model.EvaluateNUMACtx(ctx, p, np)
+			op, err := model.EvaluateNUMA(ctx, p, np)
 			if err != nil {
 				return nil, err
 			}
@@ -383,7 +374,7 @@ func (s *Server) prepareSweep(dec *json.Decoder) (preparation, error) {
 			key: model.ScenarioKey(keyParts...),
 			run: func(ctx context.Context) (any, error) {
 				ctx, agg := s.record(ctx)
-				sw, err := model.LatencySweepCtx(ctx, pl, classes, steps, stepNS)
+				sw, err := model.LatencySweep(ctx, pl, classes, steps, stepNS)
 				if err != nil {
 					return nil, err
 				}
@@ -418,7 +409,7 @@ func (s *Server) prepareSweep(dec *json.Decoder) (preparation, error) {
 			key: model.ScenarioKey(keyParts...),
 			run: func(ctx context.Context) (any, error) {
 				ctx, agg := s.record(ctx)
-				sw, err := model.BandwidthSweepCtx(ctx, pl, classes, variants)
+				sw, err := model.BandwidthSweep(ctx, pl, classes, variants)
 				if err != nil {
 					return nil, err
 				}
@@ -460,7 +451,7 @@ type healthBody struct {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET only", nil)
 		return
 	}
 	body := healthBody{
@@ -472,17 +463,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		body.Status = "draining"
 		status = http.StatusServiceUnavailable
+		setRetryAfter(w.Header(), status)
 	}
 	writeJSON(w, status, body)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET only", nil)
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.metrics.render(w, s.cache.Stats(), s.adm.Stats(), s.draining.Load())
+	s.metrics.render(w, s.cache.Stats(), s.adm.Stats(), s.faults.Stats(), s.draining.Load())
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -491,8 +483,4 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(v) // the client hanging up mid-body is not actionable
-}
-
-func writeError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, ErrorBody{Error: msg})
 }

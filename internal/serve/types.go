@@ -526,8 +526,3 @@ type SweepResponse struct {
 	Solver SolverBody       `json:"solver"`
 	Cached bool             `json:"cached"`
 }
-
-// ErrorBody is the JSON error envelope every non-2xx reply carries.
-type ErrorBody struct {
-	Error string `json:"error"`
-}

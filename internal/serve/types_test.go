@@ -143,7 +143,7 @@ func FuzzDecodeRequests(f *testing.F) {
 	f.Add([]byte(`null`))
 	f.Add([]byte(`{"params":{"class":"bigdata"},"platform":{"ghz":-3}}`))
 
-	s := New(Config{})
+	s := New()
 	preps := []prepareFunc{s.prepareEvaluate, s.prepareTiered, s.prepareNUMA, s.prepareSweep}
 	f.Fuzz(func(t *testing.T, body []byte) {
 		for _, prepare := range preps {

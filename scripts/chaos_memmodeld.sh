@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Chaos end-to-end: boot memmodeld with the deterministic fault
+# injector armed (~20% error-ish faults plus added latency), soak it
+# with memmodelctl through the resilient client SDK, and require 100%
+# eventual success within the per-call budget. Then confirm the daemon
+# actually injected faults (the /metrics counters moved) and that it
+# still drains cleanly on SIGTERM.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ADDR="${MEMMODELD_CHAOS_ADDR:-127.0.0.1:18081}"
+BASE="http://$ADDR"
+TMP="$(mktemp -d)"
+DAEMON="$TMP/memmodeld"
+CTL="$TMP/memmodelctl"
+LOG="$TMP/memmodeld.log"
+PID=""
+
+cleanup() {
+  if [[ -n "$PID" ]] && kill -0 "$PID" 2>/dev/null; then
+    kill -KILL "$PID" 2>/dev/null || true
+  fi
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+echo "== build memmodeld + memmodelctl"
+go build -o "$DAEMON" ./cmd/memmodeld
+go build -o "$CTL" ./cmd/memmodelctl
+
+echo "== start memmodeld with fault injection armed on $ADDR"
+"$DAEMON" -addr "$ADDR" \
+  -fault-seed 1234 \
+  -fault-error-p 0.10 \
+  -fault-unavailable-p 0.07 \
+  -fault-drop-p 0.03 \
+  -fault-latency-p 0.25 -fault-latency 5ms \
+  >"$LOG" 2>&1 &
+PID=$!
+
+echo "== wait for health through the SDK"
+"$CTL" -addr "$BASE" -budget 15s health \
+  || { echo "daemon never became healthy:"; cat "$LOG"; exit 1; }
+grep -q 'FAULT INJECTION ARMED' "$LOG" \
+  || { echo "daemon did not arm fault injection:"; cat "$LOG"; exit 1; }
+
+echo "== soak through the chaos wall (100% eventual success required)"
+metrics_out="$TMP/client_metrics.txt"
+"$CTL" -addr "$BASE" -budget 30s -max-attempts 10 \
+  -backoff-base 5ms -backoff-cap 200ms -seed 42 \
+  soak -n 120 -workers 4 >"$metrics_out" \
+  || { echo "soak failed:"; cat "$LOG"; exit 1; }
+grep -q '^memmodel_client_successes_total 120$' "$metrics_out" \
+  || { echo "client metrics missing full success count:"; cat "$metrics_out"; exit 1; }
+
+echo "== confirm the daemon injected faults"
+metrics="$(curl -fsS "$BASE/metrics")"
+for kind in latency error unavailable; do
+  count="$(grep -o "memmodeld_faults_injected_total{kind=\"$kind\"} [0-9]*" <<<"$metrics" | awk '{print $2}')"
+  [[ -n "$count" && "$count" -gt 0 ]] \
+    || { echo "no $kind faults injected; chaos run was a no-op"; grep memmodeld_faults <<<"$metrics" || true; exit 1; }
+done
+
+echo "== SIGTERM and wait for graceful drain"
+kill -TERM "$PID"
+rc=0
+wait "$PID" || rc=$?
+PID=""
+if [[ "$rc" -ne 0 ]]; then
+  echo "daemon exited with $rc, want 0:"
+  cat "$LOG"
+  exit 1
+fi
+grep -q 'faults injected' "$LOG" || { echo "final stats line missing fault counts:"; cat "$LOG"; exit 1; }
+
+echo "chaos: OK"
