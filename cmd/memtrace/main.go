@@ -15,6 +15,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -119,7 +120,7 @@ func replay(path string, ghz float64, grade memsys.Grade, threads int, instr uin
 	if err != nil {
 		return err
 	}
-	meas, err := m.Run(instr/2, instr)
+	meas, err := m.Run(context.Background(), instr/2, instr)
 	if err != nil {
 		return err
 	}

@@ -12,7 +12,8 @@
 // Usage:
 //
 //	repro [-out results] [-quick] [-only fig7,table2,...]
-//	      [-workers N] [-timeout 30m] [-v]
+//	      [-workers N] [-sim-workers N] [-sim-cache off|mem|disk]
+//	      [-timeout 30m] [-v]
 //	repro -list [-json]
 package main
 
@@ -23,30 +24,57 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"syscall"
 
 	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/simcache"
 )
+
+// simCacheCapacity bounds the in-process measurement LRU. A full run
+// needs a few hundred distinct measurement runs; this holds them all
+// with headroom.
+const simCacheCapacity = 4096
 
 func main() {
 	var (
-		out     = flag.String("out", "results", "output directory")
-		quick   = flag.Bool("quick", false, "use the fast (test-scale) configuration")
-		only    = flag.String("only", "", "comma-separated experiment ids to run (default: all; see -list)")
-		list    = flag.Bool("list", false, "print the experiment registry and exit")
-		asJSON  = flag.Bool("json", false, "with -list, print the registry as JSON")
-		workers = flag.Int("workers", runtime.NumCPU(), "max experiments/fits in flight")
-		timeout = flag.Duration("timeout", 0, "overall run deadline (0 = none)")
-		verbose = flag.Bool("v", false, "echo each artifact's text to stdout")
+		out        = flag.String("out", "results", "output directory")
+		quick      = flag.Bool("quick", false, "use the fast (test-scale) configuration")
+		only       = flag.String("only", "", "comma-separated experiment ids to run (default: all; see -list)")
+		list       = flag.Bool("list", false, "print the experiment registry and exit")
+		asJSON     = flag.Bool("json", false, "with -list, print the registry as JSON")
+		workers    = flag.Int("workers", runtime.NumCPU(), "max experiments/fits in flight")
+		simWorkers = flag.Int("sim-workers", 0, "concurrent measurement runs per fit grid (0 = GOMAXPROCS)")
+		simCache   = flag.String("sim-cache", "mem", "measurement cache: off, mem, or disk (disk persists under <out>/simcache)")
+		timeout    = flag.Duration("timeout", 0, "overall run deadline (0 = none)")
+		verbose    = flag.Bool("v", false, "echo each artifact's text to stdout")
 	)
 	flag.Parse()
 
 	scale := experiments.Full()
 	if *quick {
 		scale = experiments.Quick()
+	}
+	scale.SimWorkers = *simWorkers
+	switch *simCache {
+	case "off":
+	case "mem", "disk":
+		dir := ""
+		if *simCache == "disk" {
+			dir = filepath.Join(*out, "simcache")
+		}
+		c, err := simcache.New(simCacheCapacity, dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+			os.Exit(1)
+		}
+		scale.SimCache = c
+	default:
+		fmt.Fprintf(os.Stderr, "repro: -sim-cache must be off, mem, or disk (got %q)\n", *simCache)
+		os.Exit(2)
 	}
 	suite := experiments.NewSuite(scale)
 	reg := suite.Registry()
@@ -96,8 +124,9 @@ func main() {
 				fmt.Fprintf(os.Stderr, "repro: %s: %v\n", res.ID, res.Err)
 				failures++
 			} else {
-				fmt.Printf("%-18s ok  (%.1fs, fit cache %d hit / %d miss, %d solves / %d iters)\n",
+				fmt.Printf("%-18s ok  (%.1fs, fit cache %d/%d, sim cache %d/%d, %d solves / %d iters)\n",
 					res.ID, res.Wall.Seconds(), res.FitCacheHits, res.FitCacheMisses,
+					res.SimCacheHits, res.SimCacheMisses,
 					res.Solves, res.SolveIterations)
 				if *verbose {
 					fmt.Print(res.Artifact.Text())
@@ -122,6 +151,21 @@ func main() {
 	}
 	fmt.Printf("%d experiments in %.1fs (%d workers, peak parallelism %d) -> %s/manifest.json\n",
 		len(rr.Experiments), rr.Wall.Seconds(), *workers, rr.MaxParallel, *out)
+	if c := scale.SimCache; c != nil {
+		st := c.Stats()
+		fmt.Printf("sim cache: %d hits / %d disk hits / %d misses (%.0f%% hit ratio, %d held)\n",
+			st.Hits, st.DiskHits, st.Misses, st.HitRatio()*100, st.Size)
+		// The Prometheus-text mirror of the counters above, for scraping
+		// and for the memmodeld-adjacent tooling's /metrics conventions.
+		f, err := os.Create(filepath.Join(*out, "simcache.prom"))
+		if err == nil {
+			c.WriteMetrics(f)
+			err = f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "repro: simcache metrics: %v\n", err)
+		}
+	}
 	if failures > 0 || rr.Failed() > 0 {
 		os.Exit(1)
 	}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -86,7 +87,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		meas, err := m.Run(scale.WarmupInstr, scale.MeasureInstr)
+		meas, err := m.Run(context.Background(), scale.WarmupInstr, scale.MeasureInstr)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -35,6 +35,12 @@ type ExperimentResult struct {
 	// experiment ran (recorded via RecordFitCacheHit/Miss).
 	FitCacheHits   int64
 	FitCacheMisses int64
+	// SimCacheHits/Misses count content-addressed measurement-cache
+	// lookups made while this experiment ran (recorded via
+	// RecordSimCacheHit/Miss); zero for experiments that run no
+	// simulated measurements or run without a cache.
+	SimCacheHits   int64
+	SimCacheMisses int64
 	// Solver telemetry aggregated across every fixed-point solve the
 	// experiment ran (recorded via the solve.Recorder the scheduler
 	// plants in the experiment's context).
@@ -78,7 +84,8 @@ func (rr RunResult) Failed() int {
 // fixed-point outcome through the solve.Recorder interface Metrics
 // implements.
 type Metrics struct {
-	hits, misses atomic.Int64
+	hits, misses       atomic.Int64
+	simHits, simMisses atomic.Int64
 
 	// The embedded Aggregate accumulates the solver telemetry and
 	// promotes RecordSolve, which is what makes Metrics a
@@ -131,6 +138,23 @@ func RecordFitCacheHit(ctx context.Context) {
 func RecordFitCacheMiss(ctx context.Context) {
 	if m, _ := ctx.Value(metricsKey{}).(*Metrics); m != nil {
 		m.misses.Add(1)
+	}
+}
+
+// RecordSimCacheHit notes a measurement served from the
+// content-addressed simulation cache. No-op when the context carries no
+// recorder.
+func RecordSimCacheHit(ctx context.Context) {
+	if m, _ := ctx.Value(metricsKey{}).(*Metrics); m != nil {
+		m.simHits.Add(1)
+	}
+}
+
+// RecordSimCacheMiss notes a measurement simulated from scratch under a
+// cache that could not serve it.
+func RecordSimCacheMiss(ctx context.Context) {
+	if m, _ := ctx.Value(metricsKey{}).(*Metrics); m != nil {
+		m.simMisses.Add(1)
 	}
 }
 
@@ -287,6 +311,8 @@ func Run(ctx context.Context, reg *Registry, ids []string, opts Options) (RunRes
 			result.Artifact, result.Err = n.exp.Run(mctx)
 			result.FitCacheHits = m.hits.Load()
 			result.FitCacheMisses = m.misses.Load()
+			result.SimCacheHits = m.simHits.Load()
+			result.SimCacheMisses = m.simMisses.Load()
 			st := m.Aggregate.Stats()
 			result.Solves = st.Solves
 			result.SolveIterations = st.Iterations

@@ -38,6 +38,12 @@ type ManifestEntry struct {
 	WallMS         int64    `json:"wall_ms"`
 	FitCacheHits   int64    `json:"fit_cache_hits"`
 	FitCacheMisses int64    `json:"fit_cache_misses"`
+	// Measurement-cache telemetry: lookups against the content-addressed
+	// simulation cache (internal/simcache) while this experiment ran.
+	// Absent when the run had no cache or the experiment simulated
+	// nothing.
+	SimCacheHits   int64 `json:"sim_cache_hits,omitempty"`
+	SimCacheMisses int64 `json:"sim_cache_misses,omitempty"`
 	// Solver telemetry: how the experiment's fixed points converged
 	// (counts of solves, total kernel iterations, bisection fallbacks,
 	// bandwidth-limited outcomes, and the worst converged residual).
@@ -115,6 +121,8 @@ func (s *DirSink) Write(res ExperimentResult) error {
 		WallMS:          res.Wall.Milliseconds(),
 		FitCacheHits:    res.FitCacheHits,
 		FitCacheMisses:  res.FitCacheMisses,
+		SimCacheHits:    res.SimCacheHits,
+		SimCacheMisses:  res.SimCacheMisses,
 		Solves:          res.Solves,
 		SolveIterations: res.SolveIterations,
 		SolveFallbacks:  res.SolveFallbacks,

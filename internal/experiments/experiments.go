@@ -7,12 +7,20 @@ package experiments
 import (
 	"repro/internal/model"
 	"repro/internal/sim"
+	"repro/internal/simcache"
 	"repro/internal/units"
 )
 
 // Scale controls how much simulated work each experiment does. Paper
 // fidelity does not need long runs — steady-state statistics converge
 // quickly — but tests want shorter ones still.
+//
+// Scale also carries the measurement engine's scheduling knobs
+// (SimWorkers, SimCache). They change how fast a grid runs, never what
+// it measures: each sim.Machine is independent and seeded
+// deterministically, results are reassembled in grid order, and the
+// cache key excludes both knobs — so fits are bit-identical across any
+// worker count and cache state.
 type Scale struct {
 	// WarmupInstr and MeasureInstr are aggregate instruction counts per
 	// machine run.
@@ -22,6 +30,14 @@ type Scale struct {
 	SampleInterval units.Duration
 	// MLCDuration is the simulated injection time per MLC point.
 	MLCDuration units.Duration
+
+	// SimWorkers bounds how many measurement runs of one grid execute
+	// concurrently; <= 0 means runtime.GOMAXPROCS(0).
+	SimWorkers int
+	// SimCache, when non-nil, replays measurement runs addressed by
+	// content (machine config, workload, run length) instead of
+	// re-simulating them.
+	SimCache *simcache.Cache
 }
 
 // Full is the scale used by cmd/repro: enough work for fitted parameters

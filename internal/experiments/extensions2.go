@@ -91,27 +91,23 @@ func (s *Suite) PrefetchDepthSweep(ctx context.Context) (Artifact, error) {
 	var xs, ys []float64
 
 	for _, depth := range []int{0, 2, 4, 8, 16} {
-		var points []model.FitPoint
-		var covSum float64
-		var covN int
-		for _, sc := range PaperScalingConfigs() {
-			if err := ctx.Err(); err != nil {
-				return Artifact{}, err
-			}
-			cfg := machineConfig(w, sc)
+		configs := PaperScalingConfigs()
+		runs, err := runGrid(ctx, s.Scale, len(configs), func(ctx context.Context, i int) (sim.Measurement, error) {
+			cfg := machineConfig(w, configs[i])
 			if depth == 0 {
 				cfg.Cache.Prefetch.Enabled = false
 			} else {
 				cfg.Cache.Prefetch.Depth = depth
 			}
-			m, err := sim.New(cfg, name, w)
-			if err != nil {
-				return Artifact{}, err
-			}
-			meas, err := m.Run(s.Scale.WarmupInstr, s.Scale.MeasureInstr)
-			if err != nil {
-				return Artifact{}, err
-			}
+			return measureOne(ctx, cfg, name, w, s.Scale)
+		})
+		if err != nil {
+			return Artifact{}, err
+		}
+		var points []model.FitPoint
+		var covSum float64
+		var covN int
+		for _, meas := range runs {
 			points = append(points, fitPoint(meas))
 			if total := meas.Cache.MemDemandReads + meas.Cache.MemPrefReads; total > 0 {
 				covSum += float64(meas.Cache.MemPrefReads) / float64(total)
@@ -147,12 +143,15 @@ func (s *Suite) GradeSweep(ctx context.Context, workload string) (Artifact, erro
 	}
 	table := report.NewTable("Measured machine across DDR grades: "+workload,
 		"grade", "CPI", "MP (ns)", "bandwidth", "channel util")
-	for _, g := range []memsys.Grade{memsys.DDR3_1067, memsys.DDR3_1333, memsys.DDR3_1600, memsys.DDR3_1867} {
-		m, err := RunWorkload(ctx, w, ScalingConfig{CoreGHz: 2.5, Grade: g}, s.Scale, false)
-		if err != nil {
-			return Artifact{}, err
-		}
-		table.AddRow(g.String(), m.CPI, fmtNS(m.MP), m.Bandwidth.String(), fmtPct(m.Utilization1))
+	grades := []memsys.Grade{memsys.DDR3_1067, memsys.DDR3_1333, memsys.DDR3_1600, memsys.DDR3_1867}
+	runs, err := runGrid(ctx, s.Scale, len(grades), func(ctx context.Context, i int) (sim.Measurement, error) {
+		return RunWorkload(ctx, w, ScalingConfig{CoreGHz: 2.5, Grade: grades[i]}, s.Scale, false)
+	})
+	if err != nil {
+		return Artifact{}, err
+	}
+	for i, m := range runs {
+		table.AddRow(grades[i].String(), m.CPI, fmtNS(m.MP), m.Bandwidth.String(), fmtPct(m.Utilization1))
 	}
 	table.AddNote("slower grades raise loaded latency and channel utilization; CPI follows Eq. 1")
 	return Artifact{ID: "grades-" + workload, Tables: []*report.Table{table}}, nil

@@ -3,11 +3,15 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"runtime"
+	"sync"
 
 	"repro/internal/cache"
+	"repro/internal/engine"
 	"repro/internal/memsys"
 	"repro/internal/model"
 	"repro/internal/sim"
+	"repro/internal/simcache"
 	"repro/internal/units"
 	"repro/internal/workloads"
 )
@@ -43,36 +47,123 @@ func machineConfig(w workloads.Workload, sc ScalingConfig) sim.Config {
 	return cfg
 }
 
-// RunWorkload performs a single measured run of a workload at one scaling
-// point — the unit of data collection behind Figs. 2–5. The context is
-// checked before the (multi-second at full scale) simulation starts.
-func RunWorkload(ctx context.Context, w workloads.Workload, sc ScalingConfig, scale Scale, sample bool) (sim.Measurement, error) {
-	if err := ctx.Err(); err != nil {
+// measureOne runs one simulated machine — or replays it from the
+// content-addressed measurement cache when the scale carries one. Every
+// measurement path in the package funnels through here, so cache keying
+// and hit/miss telemetry live in one place.
+func measureOne(ctx context.Context, cfg sim.Config, name string, factory sim.GeneratorFactory, scale Scale) (sim.Measurement, error) {
+	c := scale.SimCache
+	var key string
+	if c != nil {
+		key = simcache.Key(cfg, name, scale.WarmupInstr, scale.MeasureInstr)
+		if m, ok := c.Get(key); ok {
+			engine.RecordSimCacheHit(ctx)
+			return m, nil
+		}
+		engine.RecordSimCacheMiss(ctx)
+	}
+	m, err := sim.New(cfg, name, factory)
+	if err != nil {
 		return sim.Measurement{}, err
 	}
+	meas, err := m.Run(ctx, scale.WarmupInstr, scale.MeasureInstr)
+	if err != nil {
+		return sim.Measurement{}, err
+	}
+	if c != nil {
+		// The measurement stands regardless; a failed disk write only
+		// loses future reuse.
+		_ = c.Put(key, meas)
+	}
+	return meas, nil
+}
+
+// runGrid evaluates n independent measurement runs concurrently over a
+// bounded worker pool (Scale.SimWorkers; <= 0 means GOMAXPROCS) and
+// returns the results in index order — exactly the sequence a
+// sequential loop would have produced, since every run is an
+// independent, deterministically seeded machine. The first real error
+// cancels the remaining work and is returned; pure cancellation errors
+// only surface when nothing more specific failed.
+func runGrid(ctx context.Context, scale Scale, n int, run func(ctx context.Context, i int) (sim.Measurement, error)) ([]sim.Measurement, error) {
+	workers := scale.SimWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	gctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	out := make([]sim.Measurement, n)
+	errs := make([]error, n)
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if err := gctx.Err(); err != nil {
+				errs[i] = err
+				return
+			}
+			out[i], errs[i] = run(gctx, i)
+			if errs[i] != nil {
+				cancel() // stop starting (and promptly abort) sibling runs
+			}
+		}(i)
+	}
+	wg.Wait()
+	var first error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if !isCtxErr(err) {
+			return nil, err
+		}
+		if first == nil {
+			first = err
+		}
+	}
+	if first != nil {
+		return nil, first
+	}
+	return out, nil
+}
+
+// RunWorkload performs a single measured run of a workload at one scaling
+// point — the unit of data collection behind Figs. 2–5.
+func RunWorkload(ctx context.Context, w workloads.Workload, sc ScalingConfig, scale Scale, sample bool) (sim.Measurement, error) {
 	cfg := machineConfig(w, sc)
 	if sample {
 		cfg.SampleInterval = scale.SampleInterval
 	}
-	m, err := sim.New(cfg, w.Name(), w)
-	if err != nil {
-		return sim.Measurement{}, err
-	}
-	return m.Run(scale.WarmupInstr, scale.MeasureInstr)
+	return measureOne(ctx, cfg, w.Name(), w, scale)
 }
 
 // FitWorkload runs the full scaling grid for one workload and fits
-// Eq. 1's constants (Fig. 3 / Tables 2, 4, 5).
+// Eq. 1's constants (Fig. 3 / Tables 2, 4, 5). The grid's configs run
+// concurrently (bounded by Scale.SimWorkers) with the measurements
+// reassembled in grid order, so the fit is byte-identical to a
+// sequential run.
 func FitWorkload(ctx context.Context, w workloads.Workload, configs []ScalingConfig, scale Scale) (model.Fit, []sim.Measurement, error) {
-	var points []model.FitPoint
-	var runs []sim.Measurement
-	for _, sc := range configs {
+	runs, err := runGrid(ctx, scale, len(configs), func(ctx context.Context, i int) (sim.Measurement, error) {
+		sc := configs[i]
 		m, err := RunWorkload(ctx, w, sc, scale, false)
 		if err != nil {
-			return model.Fit{}, nil, fmt.Errorf("experiments: fit %s at %.1fGHz/%v: %w", w.Name(), sc.CoreGHz, sc.Grade, err)
+			return sim.Measurement{}, fmt.Errorf("experiments: fit %s at %.1fGHz/%v: %w", w.Name(), sc.CoreGHz, sc.Grade, err)
 		}
-		runs = append(runs, m)
-		points = append(points, fitPoint(m))
+		return m, nil
+	})
+	if err != nil {
+		return model.Fit{}, nil, err
+	}
+	points := make([]model.FitPoint, len(runs))
+	for i, m := range runs {
+		points[i] = fitPoint(m)
 	}
 	fit, err := model.FitScaling(w.Name(), points)
 	if err != nil {
@@ -102,22 +193,18 @@ func fitWithoutPrefetch(ctx context.Context, name string, scale Scale) (model.Fi
 	if err != nil {
 		return model.Fit{}, err
 	}
-	var points []model.FitPoint
-	for _, sc := range PaperScalingConfigs() {
-		if err := ctx.Err(); err != nil {
-			return model.Fit{}, err
-		}
-		cfg := machineConfig(w, sc)
+	configs := PaperScalingConfigs()
+	runs, err := runGrid(ctx, scale, len(configs), func(ctx context.Context, i int) (sim.Measurement, error) {
+		cfg := machineConfig(w, configs[i])
 		cfg.Cache.Prefetch.Enabled = false
-		m, err := sim.New(cfg, w.Name(), w)
-		if err != nil {
-			return model.Fit{}, err
-		}
-		meas, err := m.Run(scale.WarmupInstr, scale.MeasureInstr)
-		if err != nil {
-			return model.Fit{}, err
-		}
-		points = append(points, fitPoint(meas))
+		return measureOne(ctx, cfg, w.Name(), w, scale)
+	})
+	if err != nil {
+		return model.Fit{}, err
+	}
+	points := make([]model.FitPoint, len(runs))
+	for i, m := range runs {
+		points[i] = fitPoint(m)
 	}
 	return model.FitScaling(name+"-nopf", points)
 }

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"context"
+	"crypto/sha256"
+	"reflect"
+	"testing"
+
+	"repro/internal/memsys"
+	"repro/internal/simcache"
+	"repro/internal/workloads"
+)
+
+// TestFitWorkloadParallelMatchesSequential pins the determinism contract
+// of the fan-out: a grid run over eight workers must be byte-identical —
+// every measurement and the fit derived from them — to the same grid run
+// one config at a time.
+func TestFitWorkloadParallelMatchesSequential(t *testing.T) {
+	w, err := workloads.ByName("columnstore")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	configs := PaperScalingConfigs()
+	scale := Scale{WarmupInstr: 400_000, MeasureInstr: 800_000}
+
+	seq := scale
+	seq.SimWorkers = 1
+	fitSeq, runsSeq, err := FitWorkload(ctx, w, configs, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	par := scale
+	par.SimWorkers = 8
+	fitPar, runsPar, err := FitWorkload(ctx, w, configs, par)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(runsSeq, runsPar) {
+		t.Fatal("parallel grid measurements differ from sequential")
+	}
+	if !reflect.DeepEqual(fitSeq, fitPar) {
+		t.Fatal("parallel fit differs from sequential")
+	}
+}
+
+// TestSimCacheHitReproducesMeasurement checks the cache replay path
+// returns the recorded measurement exactly, not a re-run of it.
+func TestSimCacheHitReproducesMeasurement(t *testing.T) {
+	w, err := workloads.ByName("columnstore")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := simcache.New(16, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	sc := ScalingConfig{CoreGHz: 2.5, Grade: memsys.DDR3_1867}
+	scale := Scale{WarmupInstr: 300_000, MeasureInstr: 600_000, SimCache: c}
+
+	cold, err := RunWorkload(ctx, w, sc, scale, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := RunWorkload(ctx, w, sc, scale, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Fatal("cache hit drifted from the recorded measurement")
+	}
+	if st := c.Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want exactly one miss then one hit", st)
+	}
+}
+
+// TestSimCacheDiskReplayMatchesDriftHash regenerates Table 2 in a fresh
+// suite served entirely from a warm disk cache and compares the rendered
+// artifact's content hash — the same sha256 the results manifest records
+// for drift detection — against the cold run.
+func TestSimCacheDiskReplayMatchesDriftHash(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	run := func() ([32]byte, simcache.Stats) {
+		t.Helper()
+		c, err := simcache.New(256, dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := NewSuite(Scale{WarmupInstr: 400_000, MeasureInstr: 800_000, SimCache: c})
+		art, err := s.Table2(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sha256.Sum256([]byte(art.Text())), c.Stats()
+	}
+
+	coldHash, coldStats := run()
+	if coldStats.Misses == 0 {
+		t.Fatal("cold run recorded no cache misses")
+	}
+	warmHash, warmStats := run()
+	if warmHash != coldHash {
+		t.Fatal("disk-cache replay drifted: artifact content hash changed")
+	}
+	if warmStats.Misses != 0 {
+		t.Fatalf("warm run missed %d times, want full disk replay (stats %+v)", warmStats.Misses, warmStats)
+	}
+	if warmStats.DiskHits == 0 {
+		t.Fatal("warm run recorded no disk hits")
+	}
+}

@@ -180,7 +180,7 @@ func (s *Suite) Table7(ctx context.Context) (Artifact, error) {
 	if err != nil {
 		return Artifact{}, err
 	}
-	eqs, err := model.EquivalencesCtx(ctx, base, classes)
+	eqs, err := model.Equivalences(ctx, base, classes)
 	if err != nil {
 		return Artifact{}, err
 	}

@@ -1,0 +1,78 @@
+package memsys
+
+import (
+	"encoding/json"
+
+	"repro/internal/units"
+)
+
+// countersWire mirrors Counters for JSON, surfacing the two unexported
+// bookkeeping fields (the read-request count behind AvgReadLatency and
+// the first-arrival latch) so a decoded Counters behaves exactly like
+// the original. The simcache disk layer persists measurements across
+// processes and must round-trip them bit-identically.
+type countersWire struct {
+	Reads             uint64         `json:"reads"`
+	Writes            uint64         `json:"writes"`
+	BytesRead         units.Bytes    `json:"bytes_read"`
+	BytesWritten      units.Bytes    `json:"bytes_written"`
+	TotalReadLatency  units.Duration `json:"total_read_latency"`
+	TotalQueueDelay   units.Duration `json:"total_queue_delay"`
+	Turnarounds       uint64         `json:"turnarounds"`
+	BankConflicts     uint64         `json:"bank_conflicts"`
+	BusWait           units.Duration `json:"bus_wait"`
+	BankWait          units.Duration `json:"bank_wait"`
+	LastCompletion    units.Duration `json:"last_completion"`
+	FirstArrival      units.Duration `json:"first_arrival"`
+	HaveFirstArrival  bool           `json:"have_first_arrival"`
+	MaxObservedQueue  units.Duration `json:"max_observed_queue"`
+	TotalReadRequests uint64         `json:"total_read_requests"`
+}
+
+// MarshalJSON implements json.Marshaler including the unexported fields.
+func (c Counters) MarshalJSON() ([]byte, error) {
+	return json.Marshal(countersWire{
+		Reads:             c.Reads,
+		Writes:            c.Writes,
+		BytesRead:         c.BytesRead,
+		BytesWritten:      c.BytesWritten,
+		TotalReadLatency:  c.TotalReadLatency,
+		TotalQueueDelay:   c.TotalQueueDelay,
+		Turnarounds:       c.Turnarounds,
+		BankConflicts:     c.BankConflicts,
+		BusWait:           c.BusWait,
+		BankWait:          c.BankWait,
+		LastCompletion:    c.LastCompletion,
+		FirstArrival:      c.FirstArrival,
+		HaveFirstArrival:  c.haveFirstArrival,
+		MaxObservedQueue:  c.MaxObservedQueue,
+		TotalReadRequests: c.totalReadRequests,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler, restoring the unexported
+// fields MarshalJSON wrote.
+func (c *Counters) UnmarshalJSON(data []byte) error {
+	var w countersWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	*c = Counters{
+		Reads:             w.Reads,
+		Writes:            w.Writes,
+		BytesRead:         w.BytesRead,
+		BytesWritten:      w.BytesWritten,
+		TotalReadLatency:  w.TotalReadLatency,
+		TotalQueueDelay:   w.TotalQueueDelay,
+		Turnarounds:       w.Turnarounds,
+		BankConflicts:     w.BankConflicts,
+		BusWait:           w.BusWait,
+		BankWait:          w.BankWait,
+		LastCompletion:    w.LastCompletion,
+		FirstArrival:      w.FirstArrival,
+		haveFirstArrival:  w.HaveFirstArrival,
+		MaxObservedQueue:  w.MaxObservedQueue,
+		totalReadRequests: w.TotalReadRequests,
+	}
+	return nil
+}

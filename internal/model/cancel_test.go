@@ -53,7 +53,7 @@ func TestLatencySweepCancelled(t *testing.T) {
 	cancel()
 	_, err := LatencySweep(ctx, pl, []Params{p}, 50, 5)
 	if !errors.Is(err, context.Canceled) {
-		t.Fatalf("LatencySweepCtx on cancelled ctx: err = %v, want context.Canceled", err)
+		t.Fatalf("LatencySweep on cancelled ctx: err = %v, want context.Canceled", err)
 	}
 }
 

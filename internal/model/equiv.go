@@ -40,17 +40,13 @@ const EquivDeltaBWPerCore = 1.0 // GB/s
 const EquivDeltaLatNS = 10.0
 
 // Equivalences computes Table 7 for the given classes around a baseline.
+// The three platform variants × all classes run as one batch grid, so a
+// solve.Recorder in ctx observes the full grid's telemetry.
 //
 // The paper's published equivalences are linearized ratios of the two
 // finite-difference sensitivities (e.g. enterprise: 3.5%/10 ns ÷
 // ~0.7%/8 GB/s ⇒ 10 ns ≈ 39.7 GB/s); this reproduces that construction.
-func Equivalences(baseline Platform, classes []Params) ([]Equivalence, error) {
-	return EquivalencesCtx(context.Background(), baseline, classes)
-}
-
-// EquivalencesCtx is Equivalences with a context for solver telemetry.
-// The three platform variants × all classes run as one batch grid.
-func EquivalencesCtx(ctx context.Context, baseline Platform, classes []Params) ([]Equivalence, error) {
+func Equivalences(ctx context.Context, baseline Platform, classes []Params) ([]Equivalence, error) {
 	var out []Equivalence
 	perCore := units.BytesPerSecond(EquivDeltaBWPerCore * 1e9)
 	socketDelta := perCore * units.BytesPerSecond(baseline.Cores)

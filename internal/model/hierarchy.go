@@ -186,13 +186,6 @@ func EvaluateTiered(ctx context.Context, p Params, tp TieredPlatform) (TieredOpe
 	}, nil
 }
 
-// EvaluateTieredCtx is EvaluateTiered under its pre-context-first name.
-//
-// Deprecated: EvaluateTiered is context-first; call it directly.
-func EvaluateTieredCtx(ctx context.Context, p Params, tp TieredPlatform) (TieredOperatingPoint, error) {
-	return EvaluateTiered(ctx, p, tp)
-}
-
 // PrefetchBFImprovement estimates the §VII observation that a better
 // prefetcher lowers the blocking factor: given a fraction of misses
 // converted from demand to timely prefetch, the exposed fraction of the

@@ -210,13 +210,6 @@ func EvaluateNUMA(ctx context.Context, p Params, np NUMAPlatform) (NUMAOperating
 	return state, nil
 }
 
-// EvaluateNUMACtx is EvaluateNUMA under its pre-context-first name.
-//
-// Deprecated: EvaluateNUMA is context-first; call it directly.
-func EvaluateNUMACtx(ctx context.Context, p Params, np NUMAPlatform) (NUMAOperatingPoint, error) {
-	return EvaluateNUMA(ctx, p, np)
-}
-
 // DualSocketBaseline builds the two-socket version of the paper's
 // baseline: each socket is the §VI.C.2 single-socket platform, with a
 // QPI-era interconnect (60 ns hop, 25 GB/s per direction per socket).

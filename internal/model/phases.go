@@ -120,10 +120,3 @@ func PhaseCPI(ctx context.Context, phases []Phase, pl Platform) (float64, []Oper
 	}
 	return cpi, ops, nil
 }
-
-// PhaseCPICtx is PhaseCPI under its pre-context-first name.
-//
-// Deprecated: PhaseCPI is context-first; call it directly.
-func PhaseCPICtx(ctx context.Context, phases []Phase, pl Platform) (float64, []OperatingPoint, error) {
-	return PhaseCPI(ctx, phases, pl)
-}

@@ -238,13 +238,6 @@ func Evaluate(ctx context.Context, p Params, pl Platform) (OperatingPoint, error
 	return c.point(out)
 }
 
-// EvaluateCtx is Evaluate under its pre-context-first name.
-//
-// Deprecated: Evaluate is context-first; call it directly.
-func EvaluateCtx(ctx context.Context, p Params, pl Platform) (OperatingPoint, error) {
-	return Evaluate(ctx, p, pl)
-}
-
 // EvaluateAll evaluates the full cross product of classes × platforms
 // through the kernel's batch API — the point-grid path used by sweeps
 // and the experiment engine. Points are returned as [class][platform];

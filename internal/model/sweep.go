@@ -118,13 +118,6 @@ func BandwidthSweep(ctx context.Context, baseline Platform, classes []Params, va
 	})
 }
 
-// BandwidthSweepCtx is BandwidthSweep under its pre-context-first name.
-//
-// Deprecated: BandwidthSweep is context-first; call it directly.
-func BandwidthSweepCtx(ctx context.Context, baseline Platform, classes []Params, variants []BandwidthVariant) (Sweep, error) {
-	return BandwidthSweep(ctx, baseline, classes, variants)
-}
-
 // LatencySweep evaluates the classes across compulsory-latency increases
 // (Fig. 10): steps of stepNS from the baseline, inclusive of 0. The
 // context carries solver telemetry and cancels the point grid between
@@ -143,13 +136,6 @@ func LatencySweep(ctx context.Context, baseline Platform, classes []Params, step
 	return runSweep(ctx, baseline, classes, pls, func(pl Platform) float64 {
 		return float64(pl.Compulsory - baseline.Compulsory)
 	})
-}
-
-// LatencySweepCtx is LatencySweep under its pre-context-first name.
-//
-// Deprecated: LatencySweep is context-first; call it directly.
-func LatencySweepCtx(ctx context.Context, baseline Platform, classes []Params, steps int, stepNS float64) (Sweep, error) {
-	return LatencySweep(ctx, baseline, classes, steps, stepNS)
 }
 
 // DerivativePoint is one entry of Figs. 9/11: the performance impact of

@@ -126,7 +126,7 @@ func TestPaperBandwidthVariantsEffectiveBW(t *testing.T) {
 }
 
 func TestEquivalencesHeadlines(t *testing.T) {
-	eqs, err := Equivalences(testPlatform(), allClasses())
+	eqs, err := Equivalences(context.Background(), testPlatform(), allClasses())
 	if err != nil {
 		t.Fatal(err)
 	}

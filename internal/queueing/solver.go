@@ -154,13 +154,6 @@ func Solve(ctx context.Context, sys System, demand DemandFunc, opts SolveOptions
 	return sys.solution(out, demand), err
 }
 
-// SolveCtx is Solve under its pre-context-first name.
-//
-// Deprecated: Solve is context-first; call it directly.
-func SolveCtx(ctx context.Context, sys System, demand DemandFunc, opts SolveOptions) (Solution, error) {
-	return Solve(ctx, sys, demand, opts)
-}
-
 // SolveDamped is the direct damped fixed-point iteration (the "iterative
 // calculation" the paper describes). It converges on shallow parts of the
 // curve but can oscillate near saturation; Solve's bisection is the

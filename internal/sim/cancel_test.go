@@ -1,0 +1,138 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// cancellingFactory wraps a workload factory and fires cancel on the
+// after-th generated block (counted across all threads — the event loop
+// is single-goroutine, so a shared counter is safe). after < 0 never
+// fires.
+type cancellingFactory struct {
+	inner  GeneratorFactory
+	after  int
+	cancel context.CancelFunc
+	calls  *int
+}
+
+type cancellingGen struct {
+	inner trace.Generator
+	f     cancellingFactory
+}
+
+func (f cancellingFactory) NewGenerator(thread int, seed uint64) trace.Generator {
+	return cancellingGen{inner: f.inner.NewGenerator(thread, seed), f: f}
+}
+
+func (g cancellingGen) NextBlock(b *trace.Block) {
+	*g.f.calls++
+	if *g.f.calls == g.f.after {
+		g.f.cancel()
+	}
+	g.inner.NextBlock(b)
+}
+
+func TestRunPreCancelledReturnsBeforeAnyStep(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	f := cancellingFactory{inner: scanFactory{baseCPI: 1}, after: -1, calls: &calls}
+	m, err := New(quickConfig(2), "scan", f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(ctx, 1<<40, 1<<40); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls != 0 {
+		t.Fatalf("generator produced %d blocks under a pre-cancelled context", calls)
+	}
+}
+
+func TestRunCancelMidWarmup(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	calls := 0
+	f := cancellingFactory{inner: scanFactory{baseCPI: 1}, after: 10, cancel: cancel, calls: &calls}
+	m, err := New(quickConfig(1), "scan", f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meas, err := m.Run(ctx, 1<<40, 1<<40)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if meas.Instructions != 0 {
+		t.Fatalf("cancelled run returned a non-zero measurement: %+v", meas)
+	}
+	// The poll runs every ctxCheckSteps blocks, so the loop must stop
+	// within one poll window of the cancellation.
+	if calls > 10+ctxCheckSteps {
+		t.Fatalf("cancellation not prompt: %d blocks after cancel at block 10", calls)
+	}
+	// Counters stay consistent with the blocks that actually ran (each
+	// scanFactory block retires exactly 500 instructions).
+	if want := uint64(calls) * 500; m.instr != want {
+		t.Fatalf("aggregate instruction counter = %d after cancel, want %d", m.instr, want)
+	}
+}
+
+func TestRunCancelMidMeasure(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const warmupInstr = 50_000 // exactly 100 scanFactory blocks
+	const warmBlocks = warmupInstr / 500
+	calls := 0
+	f := cancellingFactory{inner: scanFactory{baseCPI: 1}, after: 2 * warmBlocks, cancel: cancel, calls: &calls}
+	m, err := New(quickConfig(1), "scan", f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meas, err := m.Run(ctx, warmupInstr, 1<<40)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if meas.Instructions != 0 {
+		t.Fatalf("cancelled run returned a non-zero measurement: %+v", meas)
+	}
+	if calls <= warmBlocks {
+		t.Fatalf("cancelled during warm-up (%d blocks), want mid-measure", calls)
+	}
+	if calls > 2*warmBlocks+ctxCheckSteps {
+		t.Fatalf("cancellation not prompt: %d blocks after cancel at block %d", calls, 2*warmBlocks)
+	}
+	// The measured-phase counter restarts at the warm-up boundary and
+	// must match the post-warm-up blocks exactly.
+	if want := uint64(calls-warmBlocks) * 500; m.instr != want {
+		t.Fatalf("measured-phase instruction counter = %d after cancel, want %d", m.instr, want)
+	}
+}
+
+// TestStepMatchesLinearScan pins the heap event loop to the ordering the
+// O(threads) scan it replaced would produce: every step advances the
+// first thread (lowest index) among those with the minimum timestamp.
+func TestStepMatchesLinearScan(t *testing.T) {
+	cfg := quickConfig(7) // odd count exercises a ragged last heap level
+	m, err := New(cfg, "scan", scanFactory{baseCPI: 1, idleNS: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4000; i++ {
+		want := 0
+		for th := 1; th < cfg.Threads; th++ {
+			if m.cores[th].Now() < m.cores[want].Now() {
+				want = th
+			}
+		}
+		if got := m.minNow(); got != m.cores[want].Now() {
+			t.Fatalf("step %d: minNow() = %v, linear scan min is %v", i, got, m.cores[want].Now())
+		}
+		if got := m.step(); got != want {
+			t.Fatalf("step %d advanced thread %d, linear scan wants %d", i, got, want)
+		}
+	}
+}

@@ -5,7 +5,11 @@
 //
 // The event loop always advances the least-advanced thread by one trace
 // block, which bounds cross-thread time skew to one block and lets memory
-// contention between threads emerge in the shared memsys.Simulator.
+// contention between threads emerge in the shared memsys.Simulator. The
+// least-advanced thread is tracked with a binary min-heap over (core
+// timestamp, thread index), so each step costs O(log threads) instead of
+// a linear rescan, and aggregate progress is a running instruction
+// counter maintained per block instead of an O(threads) recount per step.
 // Runs have a warm-up phase (caches fill, streams train) after which all
 // counters reset and the measured phase begins — mirroring the paper's
 // "data was collected during steady-state behavior after varying amounts
@@ -13,6 +17,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -118,6 +123,17 @@ type Machine struct {
 	blocks  []trace.Block
 	ioAddr  uint64
 	ioLines uint64
+
+	// heap holds thread indices ordered by (core timestamp, index): the
+	// root is always the least-advanced thread, with ties broken toward
+	// the lower index — exactly the thread a linear scan with a strict
+	// `<` comparison would pick, so the event order (and therefore every
+	// measurement) is bit-identical to the O(threads) loop it replaces.
+	heap []int
+	// instr is the aggregate instruction count since the last counter
+	// reset, maintained incrementally by step (RunBlock retires exactly
+	// Block.Instructions per call).
+	instr uint64
 }
 
 // ioSink adapts the shared memory simulator to cpu.IOSink: DMA writes the
@@ -165,21 +181,51 @@ func New(cfg Config, name string, factory GeneratorFactory) (*Machine, error) {
 		m.gens = append(m.gens, factory.NewGenerator(t, seed+uint64(t)*0x9E37))
 	}
 	m.blocks = make([]trace.Block, cfg.Threads)
+	m.heap = make([]int, cfg.Threads)
+	for t := range m.heap {
+		// All cores start at time zero, so index order is a valid heap.
+		m.heap[t] = t
+	}
 	return m, nil
 }
 
 // Config returns the machine's configuration.
 func (m *Machine) Config() Config { return m.cfg }
 
+// before reports whether thread a orders before thread b in the event
+// heap: earlier timestamp first, lower index on ties.
+func (m *Machine) before(a, b int) bool {
+	ta, tb := m.cores[a].Now(), m.cores[b].Now()
+	return ta < tb || (ta == tb && a < b)
+}
+
+// siftDown restores the heap property below position i after the thread
+// there advanced. Only the root ever moves (step advances only the
+// least-advanced thread, and timestamps are monotone), so one sift per
+// step keeps the whole heap valid in O(log threads).
+func (m *Machine) siftDown(i int) {
+	n := len(m.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		least := i
+		if l < n && m.before(m.heap[l], m.heap[least]) {
+			least = l
+		}
+		if r < n && m.before(m.heap[r], m.heap[least]) {
+			least = r
+		}
+		if least == i {
+			return
+		}
+		m.heap[i], m.heap[least] = m.heap[least], m.heap[i]
+		i = least
+	}
+}
+
 // step advances the least-advanced thread by one block and returns its
 // index.
 func (m *Machine) step() int {
-	min := 0
-	for t := 1; t < len(m.cores); t++ {
-		if m.cores[t].Now() < m.cores[min].Now() {
-			min = t
-		}
-	}
+	min := m.heap[0]
 	b := &m.blocks[min]
 	b.Reset()
 	m.gens[min].NextBlock(b)
@@ -187,25 +233,15 @@ func (m *Machine) step() int {
 		panic(fmt.Sprintf("sim: workload %q produced an empty block", m.name))
 	}
 	m.cores[min].RunBlock(b)
+	m.instr += b.Instructions
+	m.siftDown(0)
 	return min
 }
 
-func (m *Machine) totalInstructions() uint64 {
-	var n uint64
-	for _, c := range m.cores {
-		n += c.Counters().Instructions
-	}
-	return n
-}
-
+// minNow returns the least-advanced thread's timestamp — the heap root,
+// for free.
 func (m *Machine) minNow() units.Duration {
-	min := m.cores[0].Now()
-	for _, c := range m.cores[1:] {
-		if c.Now() < min {
-			min = c.Now()
-		}
-	}
-	return min
+	return m.cores[m.heap[0]].Now()
 }
 
 func (m *Machine) snapshot(start units.Duration) pmu.Snapshot {
@@ -224,28 +260,52 @@ func (m *Machine) snapshot(start units.Duration) pmu.Snapshot {
 	return s
 }
 
+// ctxCheckSteps is how many event-loop steps run between cancellation
+// polls. At ~500 instructions per block a poll lands every ~500k
+// instructions — a few hundred microseconds of wall time at full scale —
+// so cancellation is prompt without a per-step atomic load.
+const ctxCheckSteps = 1024
+
 // Run executes warmupInstr then measureInstr aggregate instructions and
-// returns the measured-phase Measurement.
-func (m *Machine) Run(warmupInstr, measureInstr uint64) (Measurement, error) {
+// returns the measured-phase Measurement. Cancelling ctx stops the run
+// promptly (the loop polls every ctxCheckSteps blocks) and returns the
+// context's error; counters are left as they were at the interrupted
+// step, so a fresh machine is required for a retry.
+func (m *Machine) Run(ctx context.Context, warmupInstr, measureInstr uint64) (Measurement, error) {
 	if measureInstr == 0 {
 		return Measurement{}, errors.New("sim: measureInstr must be positive")
 	}
-	for m.totalInstructions() < warmupInstr {
+	steps := 0
+	for m.instr < warmupInstr {
+		if steps%ctxCheckSteps == 0 {
+			if err := ctx.Err(); err != nil {
+				return Measurement{}, err
+			}
+		}
 		m.step()
+		steps++
 	}
 	// Reset counters for the measured phase; cache/stream state persists.
 	for _, c := range m.cores {
 		c.ResetCounters()
 	}
 	m.mem.ResetCounters()
+	m.instr = 0
 
 	start := m.minNow()
 	sampler := pmu.NewSampler(m.cfg.SampleInterval)
 	sampler.Record(start, m.snapshot(start))
 	next := start + m.cfg.SampleInterval
 
-	for m.totalInstructions() < measureInstr {
+	steps = 0
+	for m.instr < measureInstr {
+		if steps%ctxCheckSteps == 0 {
+			if err := ctx.Err(); err != nil {
+				return Measurement{}, err
+			}
+		}
 		m.step()
+		steps++
 		if sampler.Enabled() {
 			for now := m.minNow(); now >= next; next += m.cfg.SampleInterval {
 				sampler.Record(next, m.snapshot(start))
@@ -253,6 +313,14 @@ func (m *Machine) Run(warmupInstr, measureInstr uint64) (Measurement, error) {
 		}
 	}
 	return m.measure(start, sampler), nil
+}
+
+// RunNoCtx is Run under its pre-context-first shape, for callers with no
+// cancellation to propagate.
+//
+// Deprecated: Run is context-first; call it directly.
+func (m *Machine) RunNoCtx(warmupInstr, measureInstr uint64) (Measurement, error) {
+	return m.Run(context.Background(), warmupInstr, measureInstr)
 }
 
 func (m *Machine) measure(start units.Duration, sampler *pmu.Sampler) Measurement {

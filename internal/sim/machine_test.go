@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -74,7 +75,7 @@ func TestRunProducesSaneMeasurement(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	meas, err := m.Run(100_000, 400_000)
+	meas, err := m.Run(context.Background(), 100_000, 400_000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func TestRunDeterministic(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		meas, err := m.Run(50_000, 200_000)
+		meas, err := m.Run(context.Background(), 50_000, 200_000)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -125,8 +126,8 @@ func TestSeedChangesNothingStructural(t *testing.T) {
 	cfgB := quickConfig(2)
 	cfgB.Seed = 999
 	mB, _ := New(cfgB, "scan", scanFactory{baseCPI: 1})
-	a, _ := mA.Run(50_000, 200_000)
-	b, _ := mB.Run(50_000, 200_000)
+	a, _ := mA.Run(context.Background(), 50_000, 200_000)
+	b, _ := mB.Run(context.Background(), 50_000, 200_000)
 	// Different seeds may change exact values but not the regime.
 	if math.Abs(a.CPI-b.CPI) > 0.2*a.CPI {
 		t.Fatalf("seed changed CPI drastically: %v vs %v", a.CPI, b.CPI)
@@ -139,7 +140,7 @@ func TestMoreThreadsMoreBandwidth(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		meas, err := m.Run(uint64(threads)*50_000, uint64(threads)*100_000)
+		meas, err := m.Run(context.Background(), uint64(threads)*50_000, uint64(threads)*100_000)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -156,7 +157,7 @@ func TestIdleDilutesUtilizationNotCPI(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	meas, err := m.Run(50_000, 200_000)
+	meas, err := m.Run(context.Background(), 50_000, 200_000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +174,7 @@ func TestIOAccounting(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	meas, err := m.Run(50_000, 200_000)
+	meas, err := m.Run(context.Background(), 50_000, 200_000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +187,7 @@ func TestIOAccounting(t *testing.T) {
 	// I/O DMA traffic lands on the memory channels: total bandwidth must
 	// exceed the cache-fill traffic alone.
 	noIO, _ := New(quickConfig(2), "noio", scanFactory{baseCPI: 1})
-	base, _ := noIO.Run(50_000, 200_000)
+	base, _ := noIO.Run(context.Background(), 50_000, 200_000)
 	if meas.Bandwidth <= base.Bandwidth {
 		t.Fatalf("I/O must add channel traffic: %v vs %v", meas.Bandwidth, base.Bandwidth)
 	}
@@ -199,7 +200,7 @@ func TestSampling(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	meas, err := m.Run(50_000, 400_000)
+	meas, err := m.Run(context.Background(), 50_000, 400_000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,14 +216,14 @@ func TestSampling(t *testing.T) {
 
 func TestRunZeroMeasure(t *testing.T) {
 	m, _ := New(quickConfig(2), "scan", scanFactory{baseCPI: 1})
-	if _, err := m.Run(0, 0); err == nil {
+	if _, err := m.Run(context.Background(), 0, 0); err == nil {
 		t.Fatal("want error for zero measure instructions")
 	}
 }
 
 func TestWarmupResetsCounters(t *testing.T) {
 	m, _ := New(quickConfig(2), "scan", scanFactory{baseCPI: 1})
-	meas, err := m.Run(300_000, 100_000)
+	meas, err := m.Run(context.Background(), 300_000, 100_000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -251,7 +252,7 @@ func TestEmptyBlockPanics(t *testing.T) {
 			t.Fatal("want panic on empty block")
 		}
 	}()
-	_, _ = m.Run(0, 1000)
+	_, _ = m.Run(context.Background(), 0, 1000)
 }
 
 func TestMPIxMP(t *testing.T) {

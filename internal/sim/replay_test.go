@@ -2,6 +2,7 @@ package sim
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"repro/internal/trace"
@@ -46,7 +47,7 @@ func TestRecordedTraceReplaysAcrossConfigs(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		meas, err := m.Run(100_000, 400_000)
+		meas, err := m.Run(context.Background(), 100_000, 400_000)
 		if err != nil {
 			t.Fatal(err)
 		}

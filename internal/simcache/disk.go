@@ -1,0 +1,97 @@
+package simcache
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/sim"
+)
+
+// diskVersion invalidates on-disk entries when the measurement wire
+// format changes: entries with a different version are treated as
+// misses, so a stale layout can never feed an old Measurement into a
+// new binary.
+const diskVersion = 1
+
+// diskEntry is the on-disk envelope for one measurement.
+type diskEntry struct {
+	Version     int             `json:"version"`
+	Key         string          `json:"key"`
+	Measurement sim.Measurement `json:"measurement"`
+}
+
+// diskLayer persists measurements as <key>.json files in one directory.
+// Writes go through a unique temp file and an atomic rename, so
+// concurrent writers (the fit grid fans out) never expose a torn file.
+type diskLayer struct {
+	dir string
+}
+
+func newDiskLayer(dir string) (*diskLayer, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("simcache: %w", err)
+	}
+	return &diskLayer{dir: dir}, nil
+}
+
+func (d *diskLayer) path(key string) string {
+	return filepath.Join(d.dir, key+".json")
+}
+
+// load reads one entry; any read, decode, or version mismatch is a miss
+// (a corrupt entry costs a re-run, never a wrong result).
+func (d *diskLayer) load(key string) (sim.Measurement, bool) {
+	data, err := os.ReadFile(d.path(key))
+	if err != nil {
+		return sim.Measurement{}, false
+	}
+	var ent diskEntry
+	if err := json.Unmarshal(data, &ent); err != nil {
+		return sim.Measurement{}, false
+	}
+	if ent.Version != diskVersion || ent.Key != key {
+		return sim.Measurement{}, false
+	}
+	return ent.Measurement, true
+}
+
+func (d *diskLayer) store(key string, m sim.Measurement) error {
+	data, err := json.Marshal(diskEntry{Version: diskVersion, Key: key, Measurement: m})
+	if err != nil {
+		return fmt.Errorf("simcache: encode %s: %w", key, err)
+	}
+	tmp, err := os.CreateTemp(d.dir, key+".tmp*")
+	if err != nil {
+		return fmt.Errorf("simcache: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("simcache: write %s: %w", key, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("simcache: write %s: %w", key, err)
+	}
+	if err := os.Rename(tmp.Name(), d.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("simcache: publish %s: %w", key, err)
+	}
+	return nil
+}
+
+// WriteMetrics renders the cache counters in Prometheus text format —
+// the same surface the serving daemon exposes its scenario cache on, so
+// measurement-cache effectiveness plots next to solve-cache
+// effectiveness in memmodeld-adjacent tooling.
+func (c *Cache) WriteMetrics(w io.Writer) {
+	st := c.Stats()
+	fmt.Fprintf(w, "# TYPE simcache_hits_total counter\nsimcache_hits_total %d\n", st.Hits)
+	fmt.Fprintf(w, "# TYPE simcache_disk_hits_total counter\nsimcache_disk_hits_total %d\n", st.DiskHits)
+	fmt.Fprintf(w, "# TYPE simcache_misses_total counter\nsimcache_misses_total %d\n", st.Misses)
+	fmt.Fprintf(w, "# TYPE simcache_evictions_total counter\nsimcache_evictions_total %d\n", st.Evictions)
+	fmt.Fprintf(w, "# TYPE simcache_entries gauge\nsimcache_entries %d\n", st.Size)
+}

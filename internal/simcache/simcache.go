@@ -1,0 +1,223 @@
+// Package simcache is a content-addressed cache for simulated-machine
+// measurements. A measurement run is a pure function of its machine
+// configuration, workload, and run length — sim.Machine is seeded
+// deterministically — so repeated repro and bench invocations that
+// request the same run can skip the (multi-second at full scale)
+// simulation entirely and replay the recorded Measurement.
+//
+// Keys follow internal/model/hash.go's canonicalization rules: every
+// float is rendered in strconv's exact hexadecimal format so distinct
+// bit patterns never collide and equal values never diverge through
+// decimal rounding, label-only strings (cache level names) are excluded,
+// and the canonical string is folded into a compact FNV-1a hash. The
+// in-process layer is a sharded LRU in the style of internal/serve's
+// scenario cache; an optional disk layer under results/simcache/
+// persists measurements across processes as JSON (bit-exact for every
+// field a consumer can observe — see memsys.Counters' custom JSON).
+package simcache
+
+import (
+	"container/list"
+	"fmt"
+	"hash/fnv"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/sim"
+)
+
+// hexf renders f in the exact hexadecimal floating-point format.
+func hexf(f float64) string { return strconv.FormatFloat(f, 'x', -1, 64) }
+
+// CanonicalConfig serializes every behavior-bearing field of a machine
+// configuration. Cache level names are labels, not behavior, and are
+// excluded (the geometry that stands behind them is not).
+func CanonicalConfig(cfg sim.Config) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sim{threads=%d,seed=%d,sample=%s", cfg.Threads, cfg.Seed, hexf(float64(cfg.SampleInterval)))
+	fmt.Fprintf(&b, "|core{freq=%s,mshrs=%d,overlap=%s}",
+		hexf(float64(cfg.Core.Freq)), cfg.Core.MSHRs, hexf(cfg.Core.OverlapCM))
+	fmt.Fprintf(&b, "|cache{ls=%s,levels=[", hexf(float64(cfg.Cache.LineSize)))
+	for i, l := range cfg.Cache.Levels {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		fmt.Fprintf(&b, "size=%s,assoc=%d,hitlat=%s",
+			hexf(float64(l.Size)), l.Assoc, hexf(float64(l.HitLatency)))
+	}
+	pf := cfg.Cache.Prefetch
+	fmt.Fprintf(&b, "],pf{on=%t,streams=%d,depth=%d,train=%d}}",
+		pf.Enabled, pf.Streams, pf.Depth, pf.TrainHits)
+	m := cfg.Mem
+	fmt.Fprintf(&b, "|mem{ch=%d,grade=%d,comp=%s,ls=%s,overhead=%s,banks=%d,bankcy=%s,turn=%s}}",
+		m.Channels, int(m.Grade), hexf(float64(m.Compulsory)), hexf(float64(m.LineSize)),
+		hexf(float64(m.RequestOverhead)), m.BanksPerChannel,
+		hexf(float64(m.BankCycle)), hexf(float64(m.TurnaroundPenalty)))
+	return b.String()
+}
+
+// Key addresses one measurement run: the canonical machine configuration,
+// the workload generating the trace, and the run length (warm-up and
+// measured aggregate instructions — the two Scale fields that change what
+// a run measures; scheduling knobs such as worker counts do not and are
+// excluded).
+func Key(cfg sim.Config, workload string, warmupInstr, measureInstr uint64) string {
+	h := fnv.New64a()
+	for _, p := range []string{
+		CanonicalConfig(cfg),
+		workload,
+		strconv.FormatUint(warmupInstr, 10),
+		strconv.FormatUint(measureInstr, 10),
+	} {
+		h.Write([]byte(p))
+		h.Write([]byte{0}) // separator so part boundaries matter
+	}
+	return strconv.FormatUint(h.Sum64(), 16)
+}
+
+// shardCount is a power of two so the key hash maps onto a shard with a
+// mask.
+const shardCount = 16
+
+type shard struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type entry struct {
+	key  string
+	meas sim.Measurement
+}
+
+// Cache is a sharded LRU over measurements with an optional disk layer.
+// All methods are safe for concurrent use. The zero value is not usable;
+// call New.
+type Cache struct {
+	shards [shardCount]*shard
+	disk   *diskLayer // nil without a disk layer
+
+	hits      atomic.Int64 // served from the in-process LRU
+	diskHits  atomic.Int64 // served from the disk layer (and promoted)
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+// New builds a cache holding about capacity measurements across all
+// shards (at least one per shard; capacity <= 0 gets a minimal cache).
+// dir, when non-empty, enables the disk layer: measurements are also
+// written there as <key>.json and survive the process.
+func New(capacity int, dir string) (*Cache, error) {
+	perShard := (capacity + shardCount - 1) / shardCount
+	if perShard < 1 {
+		perShard = 1
+	}
+	c := &Cache{}
+	for i := range c.shards {
+		c.shards[i] = &shard{cap: perShard, ll: list.New(), items: map[string]*list.Element{}}
+	}
+	if dir != "" {
+		d, err := newDiskLayer(dir)
+		if err != nil {
+			return nil, err
+		}
+		c.disk = d
+	}
+	return c, nil
+}
+
+func (c *Cache) shardFor(key string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return c.shards[h.Sum32()&(shardCount-1)]
+}
+
+// Get returns the measurement stored under key. A disk-layer hit is
+// promoted into the in-process LRU so the JSON decode is paid once.
+func (c *Cache) Get(key string) (sim.Measurement, bool) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	if el, ok := s.items[key]; ok {
+		s.ll.MoveToFront(el)
+		m := el.Value.(*entry).meas
+		s.mu.Unlock()
+		c.hits.Add(1)
+		return m, true
+	}
+	s.mu.Unlock()
+	if c.disk != nil {
+		if m, ok := c.disk.load(key); ok {
+			c.insert(key, m)
+			c.diskHits.Add(1)
+			return m, true
+		}
+	}
+	c.misses.Add(1)
+	return sim.Measurement{}, false
+}
+
+// Put stores a measurement under key in the LRU and, when enabled, the
+// disk layer. Disk write failures are reported but leave the in-process
+// entry in place — a broken disk degrades to a memory-only cache.
+func (c *Cache) Put(key string, m sim.Measurement) error {
+	c.insert(key, m)
+	if c.disk != nil {
+		return c.disk.store(key, m)
+	}
+	return nil
+}
+
+func (c *Cache) insert(key string, m sim.Measurement) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[key]; ok {
+		el.Value.(*entry).meas = m
+		s.ll.MoveToFront(el)
+		return
+	}
+	s.items[key] = s.ll.PushFront(&entry{key: key, meas: m})
+	for s.ll.Len() > s.cap {
+		tail := s.ll.Back()
+		s.ll.Remove(tail)
+		delete(s.items, tail.Value.(*entry).key)
+		c.evictions.Add(1)
+	}
+}
+
+// Stats is a point-in-time copy of the cache counters.
+type Stats struct {
+	Hits      int64 // in-process LRU hits
+	DiskHits  int64 // disk-layer hits (promoted to the LRU)
+	Misses    int64
+	Evictions int64
+	Size      int // entries currently held in process
+}
+
+// HitRatio is (memory + disk hits) / total lookups.
+func (s Stats) HitRatio() float64 {
+	total := s.Hits + s.DiskHits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits+s.DiskHits) / float64(total)
+}
+
+// Stats snapshots the counters and current size.
+func (c *Cache) Stats() Stats {
+	st := Stats{
+		Hits:      c.hits.Load(),
+		DiskHits:  c.diskHits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+	}
+	for _, s := range c.shards {
+		s.mu.Lock()
+		st.Size += s.ll.Len()
+		s.mu.Unlock()
+	}
+	return st
+}

@@ -1,6 +1,7 @@
 package workloads
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/sim"
@@ -55,7 +56,7 @@ func TestCalibrationBands(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			meas, err := m.Run(30_000_000, 4_000_000)
+			meas, err := m.Run(context.Background(), 30_000_000, 4_000_000)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -1,0 +1,103 @@
+#!/usr/bin/env bash
+# Benchmark harness: runs the artifact benchmark suite (bench_test.go)
+# with -benchmem and emits BENCH_repro.json recording op time and
+# allocations for every benchmark, plus the measured speedup of the
+# parallel fit grids + measurement cache over the pre-parallel baseline
+# (REPRO_BENCH_BASELINE=1: one sim worker, no cache) on the fit-heavy
+# artifacts Table 2 and Figure 3.
+#
+# Usage: scripts/bench.sh [smoke|full]
+#   smoke  one iteration per benchmark and a short speedup pass (CI)
+#   full   multi-iteration suite and speedup pass (default)
+#
+# Output: BENCH_repro.json (override with BENCH_OUT). No jq dependency:
+# the JSON is assembled from `go test -bench` output with awk/printf.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MODE="${1:-full}"
+OUT="${BENCH_OUT:-BENCH_repro.json}"
+CPU="${BENCH_CPU:-8}"
+case "$MODE" in
+smoke)
+	SUITE_TIME=1x
+	SPEEDUP_TIME=3x
+	;;
+full)
+	SUITE_TIME=3x
+	SPEEDUP_TIME=5x
+	;;
+*)
+	echo "usage: scripts/bench.sh [smoke|full]" >&2
+	exit 2
+	;;
+esac
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+# parse turns `go test -bench` output into TSV:
+# name<TAB>iterations<TAB>ns/op<TAB>B/op<TAB>allocs/op
+parse() {
+	awk '$1 ~ /^Benchmark/ {
+		name = $1
+		sub(/^Benchmark/, "", name)
+		sub(/-[0-9]+$/, "", name)
+		ns = ""; bytes = ""; allocs = ""
+		for (i = 3; i < NF; i++) {
+			if ($(i + 1) == "ns/op") ns = $i
+			else if ($(i + 1) == "B/op") bytes = $i
+			else if ($(i + 1) == "allocs/op") allocs = $i
+		}
+		print name "\t" $2 "\t" ns "\t" bytes "\t" allocs
+	}' "$1"
+}
+
+echo "== suite: go test -bench . -benchmem -benchtime $SUITE_TIME -cpu $CPU"
+go test -run '^$' -bench . -benchmem -benchtime "$SUITE_TIME" -cpu "$CPU" -timeout 45m . | tee "$TMP/suite.txt"
+
+echo "== speedup: Table2|Figure3, parallel grids + measurement cache vs baseline"
+go test -run '^$' -bench 'Table2|Figure3' -benchtime "$SPEEDUP_TIME" -cpu "$CPU" -timeout 45m . | tee "$TMP/par.txt"
+REPRO_BENCH_BASELINE=1 go test -run '^$' -bench 'Table2|Figure3' -benchtime "$SPEEDUP_TIME" -cpu "$CPU" -timeout 45m . | tee "$TMP/base.txt"
+
+parse "$TMP/suite.txt" >"$TMP/suite.tsv"
+parse "$TMP/par.txt" >"$TMP/par.tsv"
+parse "$TMP/base.txt" >"$TMP/base.tsv"
+
+{
+	printf '{\n'
+	printf '  "mode": "%s",\n' "$MODE"
+	printf '  "go": "%s",\n' "$(go version)"
+	printf '  "cpu": %s,\n' "$CPU"
+	printf '  "suite_benchtime": "%s",\n' "$SUITE_TIME"
+	printf '  "benchmarks": [\n'
+	first=1
+	while IFS=$'\t' read -r name iters ns bytes allocs; do
+		[ "$first" -eq 1 ] || printf ',\n'
+		first=0
+		printf '    {"name": "%s", "iterations": %s, "ns_per_op": %s, "bytes_per_op": %s, "allocs_per_op": %s}' \
+			"$name" "$iters" "${ns:-null}" "${bytes:-null}" "${allocs:-null}"
+	done <"$TMP/suite.tsv"
+	printf '\n  ],\n'
+	printf '  "speedup": {\n'
+	printf '    "baseline": "REPRO_BENCH_BASELINE=1 (one sim worker, no measurement cache)",\n'
+	printf '    "benchtime": "%s",\n' "$SPEEDUP_TIME"
+	printf '    "results": [\n'
+	first=1
+	while IFS=$'\t' read -r name iters ns bytes allocs; do
+		base_ns="$(awk -F'\t' -v n="$name" '$1 == n { print $3 }' "$TMP/base.tsv")"
+		[ -n "$base_ns" ] || continue
+		sp="$(awk -v b="$base_ns" -v p="$ns" 'BEGIN { printf "%.2f", b / p }')"
+		[ "$first" -eq 1 ] || printf ',\n'
+		first=0
+		printf '    {"name": "%s", "baseline_ns_per_op": %s, "ns_per_op": %s, "speedup": %s}' \
+			"$name" "$base_ns" "$ns" "$sp"
+	done <"$TMP/par.tsv"
+	printf '\n    ]\n'
+	printf '  }\n'
+	printf '}\n'
+} >"$OUT"
+
+echo "== $OUT"
+awk -F'"speedup": ' '/"speedup": [0-9]/ { print "speedup " $0 }' "$OUT" || true
+echo "bench: wrote $OUT"
