@@ -243,6 +243,17 @@ func (c *Client) EvaluateNUMA(ctx context.Context, req NUMARequest) (*NUMARespon
 	return &resp, nil
 }
 
+// EvaluateTopology solves an N-tier memory topology (POST
+// /v1/evaluate/topology) — the unified evaluator behind the flat,
+// tiered, and NUMA endpoints.
+func (c *Client) EvaluateTopology(ctx context.Context, req TopologyRequest) (*TopologyResponse, error) {
+	var resp TopologyResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/evaluate/topology", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
 // Sweep runs a latency or bandwidth grid (POST /v1/sweep).
 func (c *Client) Sweep(ctx context.Context, req SweepRequest) (*SweepResponse, error) {
 	var resp SweepResponse

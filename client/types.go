@@ -22,6 +22,11 @@ type (
 	TieredPlatformSpec = serve.TieredPlatformSpec
 	// NUMAPlatformSpec describes a symmetric multi-socket platform.
 	NUMAPlatformSpec = serve.NUMAPlatformSpec
+	// TopologyTierSpec is one memory tier of an N-tier topology.
+	TopologyTierSpec = serve.TopologyTierSpec
+	// TopologySpec describes an N-tier memory topology (fractions,
+	// interleave, or local-remote traffic split).
+	TopologySpec = serve.TopologySpec
 	// BandwidthVariantSpec is one platform variant of a bandwidth sweep.
 	BandwidthVariantSpec = serve.BandwidthVariantSpec
 
@@ -31,6 +36,8 @@ type (
 	TieredRequest = serve.TieredRequest
 	// NUMARequest is the body of POST /v1/evaluate/numa.
 	NUMARequest = serve.NUMARequest
+	// TopologyRequest is the body of POST /v1/evaluate/topology.
+	TopologyRequest = serve.TopologyRequest
 	// SweepRequest is the body of POST /v1/sweep.
 	SweepRequest = serve.SweepRequest
 
@@ -40,6 +47,10 @@ type (
 	TieredResponse = serve.TieredResponse
 	// NUMAResponse is the body of a /v1/evaluate/numa reply.
 	NUMAResponse = serve.NUMAResponse
+	// TopologyResponse is the body of a /v1/evaluate/topology reply.
+	TopologyResponse = serve.TopologyResponse
+	// TopologyTierPointBody is one tier's share of a topology reply.
+	TopologyTierPointBody = serve.TopologyTierPointBody
 	// SweepResponse is the body of a /v1/sweep reply.
 	SweepResponse = serve.SweepResponse
 	// OperatingPointBody is the wire form of a solved operating point.

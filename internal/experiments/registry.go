@@ -87,6 +87,9 @@ func (s *Suite) Registry() *engine.Registry {
 	add("fig11", "Figure 11: CPI increase per +10 ns latency", "§VI.C.2 / Fig. 11", curve, s.Figure11)
 	add("table7", "Table 7: design tradeoffs (1 GB/s/core vs 10 ns)", "§VI.D / Tab. 7", curve, s.Table7)
 	add("tiered", "Two-tier memory: DRAM cache + emerging memory (Eq. 5)", "§VII / Eq. 5", curve, s.TieredMemory)
+	add("die-stacked", "Die-stacked DRAM tier: 4x bandwidth at DRAM latency", "§VII extension", curve, s.DieStacked)
+	add("cxl-far-memory", "CXL far memory: interleave-ratio sweep at 3x latency", "§VII extension", curve, s.CXLFarMemory)
+	add("sustained-bw", "Sustained vs peak bandwidth: efficiency derating sweep", "§VI.C.1 extension", curve, s.SustainedBandwidth)
 	add("future-memory", "Future memory technologies per workload class", "§VII", curve, s.FutureMemory)
 	add("numa", "Dual-socket NUMA sensitivity", "§VIII", curve, s.NUMAStudy)
 	add("prefetch-ablation", "Prefetcher effect on fitted blocking factor", "§VII", fits("columnstore", "bwaves", "oltp"), s.PrefetchAblation)

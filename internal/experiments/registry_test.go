@@ -16,14 +16,15 @@ func TestRegistryCatalog(t *testing.T) {
 		t.Fatal(err)
 	}
 	ids := reg.IDs()
-	if len(ids) != 25 {
-		t.Fatalf("registry has %d experiments, want 25", len(ids))
+	if len(ids) != 28 {
+		t.Fatalf("registry has %d experiments, want 28", len(ids))
 	}
 	// The catalog starts with Fig. 1 and covers the supplementary sweep.
 	if ids[0] != "fig1" {
 		t.Fatalf("first id = %s", ids[0])
 	}
-	want := map[string]bool{"fig7": true, "table7": true, "grades-hpc": true, "efficiency": true}
+	want := map[string]bool{"fig7": true, "table7": true, "grades-hpc": true, "efficiency": true,
+		"die-stacked": true, "cxl-far-memory": true, "sustained-bw": true}
 	for _, id := range ids {
 		delete(want, id)
 	}

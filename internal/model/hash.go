@@ -104,6 +104,30 @@ func CanonicalNUMA(np NUMAPlatform) string {
 		hexf(np.RemoteFraction), CanonicalCurve(np.Queue))
 }
 
+// CanonicalTopology serializes an N-tier topology, excluding tier and
+// topology names. Tier order is significant (it is the order the
+// bandwidth-limit clamps chain in), and the policy is part of the
+// problem (the same tiers under a different split solve differently).
+// Tier efficiency enters through the sustained bandwidth rather than
+// the raw factor, so a tier spelled with Efficiency 1 and one spelled
+// with the 0 default share a cache line (both deliver peak).
+func CanonicalTopology(top Topology) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "topology{policy=%s,threads=%d,cores=%d,cps=%s,ls=%s,rf=%s,tiers=[",
+		top.Policy, top.Threads, top.Cores,
+		hexf(float64(top.CoreSpeed)), hexf(float64(top.LineSize)), hexf(top.RemoteFraction))
+	for i, t := range top.Tiers {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		fmt.Fprintf(&b, "share=%s,comp=%s,peak=%s,sust=%s,%s",
+			hexf(t.Share), hexf(float64(t.Compulsory)), hexf(float64(t.PeakBW)),
+			hexf(float64(t.SustainedBW())), CanonicalCurve(t.Queue))
+	}
+	b.WriteString("]}")
+	return b.String()
+}
+
 // ScenarioKey folds canonical strings (and any extra discriminators,
 // such as a sweep axis) into a compact hash key.
 func ScenarioKey(parts ...string) string {

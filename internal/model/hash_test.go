@@ -99,3 +99,69 @@ func TestCanonicalTieredAndNUMA(t *testing.T) {
 		t.Error("remote fraction must change the NUMA canonical form")
 	}
 }
+
+// TestLegacyScenarioKeysStable pins the serve-layer cache keys of the
+// three legacy endpoints to their pre-topology values. The keys were
+// captured before the Topology refactor: a daemon upgraded across the
+// refactor must keep hitting its warm cache, so any change here is a
+// silent cache-invalidation regression.
+func TestLegacyScenarioKeysStable(t *testing.T) {
+	curve := queueing.MM1{Service: 6, ULimit: 0.95}
+	p := Params{Name: "bigdata", CPICache: 0.91, BF: 0.21, MPKI: 5.5, WBR: 0.92}
+	pl := BaselinePlatform(curve)
+	tp := TieredPlatform{
+		Name: "tp", Threads: 16, Cores: 8, CoreSpeed: units.GHzOf(2.5), LineSize: 64,
+		Tiers: []Tier{
+			{Name: "near", HitFraction: 0.8, Compulsory: 75, PeakBW: units.GBpsOf(42), Queue: curve},
+			{Name: "far", HitFraction: 0.2, Compulsory: 300, PeakBW: units.GBpsOf(10), Queue: curve},
+		},
+	}
+	np := DualSocketBaseline(curve).WithRemoteFraction(0.3)
+
+	for _, tc := range []struct{ name, got, want string }{
+		{"evaluate", ScenarioKey("evaluate", CanonicalParams(p), CanonicalPlatform(pl)), "8706d5f289f8a9b6"},
+		{"tiered", ScenarioKey("tiered", CanonicalParams(p), CanonicalTiered(tp)), "8a324db0c775b632"},
+		{"numa", ScenarioKey("numa", CanonicalParams(p), CanonicalNUMA(np)), "9441e79618faf7d2"},
+	} {
+		if tc.got != tc.want {
+			t.Errorf("%s key = %s, want pre-refactor %s", tc.name, tc.got, tc.want)
+		}
+	}
+}
+
+// TestCanonicalTopology covers the topology fingerprint: names are
+// excluded, the split policy and every tier number participate, and a
+// tier at the default efficiency collides with one spelled with
+// Efficiency 1 (both deliver peak).
+func TestCanonicalTopology(t *testing.T) {
+	curve := queueing.MM1{Service: 6, ULimit: 0.95}
+	top := BaselinePlatform(curve).Topology()
+
+	named := top
+	named.Name = "other"
+	named.Tiers = append([]MemTier(nil), top.Tiers...)
+	named.Tiers[0].Name = "renamed"
+	if CanonicalTopology(top) != CanonicalTopology(named) {
+		t.Error("topology canonical form should not depend on names")
+	}
+
+	policy := top
+	policy.Policy = SplitInterleave
+	if CanonicalTopology(top) == CanonicalTopology(policy) {
+		t.Error("split policy must change the canonical form")
+	}
+
+	derated := top
+	derated.Tiers = append([]MemTier(nil), top.Tiers...)
+	derated.Tiers[0].Efficiency = 0.8
+	if CanonicalTopology(top) == CanonicalTopology(derated) {
+		t.Error("tier efficiency must change the canonical form")
+	}
+
+	unity := top
+	unity.Tiers = append([]MemTier(nil), top.Tiers...)
+	unity.Tiers[0].Efficiency = 1
+	if CanonicalTopology(top) != CanonicalTopology(unity) {
+		t.Error("Efficiency 1 and the 0 default describe the same problem and must share a key")
+	}
+}

@@ -6,7 +6,6 @@ import (
 	"fmt"
 
 	"repro/internal/queueing"
-	"repro/internal/solve"
 	"repro/internal/units"
 )
 
@@ -81,12 +80,11 @@ type TieredOperatingPoint struct {
 
 // EvaluateTiered finds the Eq. 5 fixed point: each tier's loaded latency
 // depends on its share of the traffic, which depends on CPI, which
-// depends on all tiers' loaded latencies. The coupling is through the
-// single scalar CPI, and the map c → Eq5(c) is decreasing in c (a slower
-// core demands less bandwidth, so queues shrink), so the fixed point is
-// found by the shared bisection kernel, like the single-tier solver.
-// As with Evaluate, a solve.Recorder planted in ctx observes the solver
-// telemetry.
+// depends on all tiers' loaded latencies. It is the fraction-split
+// adapter over EvaluateTopology (which drives the shared bisection
+// kernel in CPI space), and is bit-identical to the pre-topology
+// evaluator for multi-tier hierarchies. As with Evaluate, a
+// solve.Recorder planted in ctx observes the solver telemetry.
 func EvaluateTiered(ctx context.Context, p Params, tp TieredPlatform) (TieredOperatingPoint, error) {
 	if err := p.Validate(); err != nil {
 		return TieredOperatingPoint{}, err
@@ -94,95 +92,25 @@ func EvaluateTiered(ctx context.Context, p Params, tp TieredPlatform) (TieredOpe
 	if err := tp.Validate(); err != nil {
 		return TieredOperatingPoint{}, err
 	}
-
-	systems := make([]queueing.System, len(tp.Tiers))
-	for i, t := range tp.Tiers {
-		systems[i] = queueing.System{Compulsory: t.Compulsory, PeakBW: t.PeakBW, Curve: t.Queue}
-	}
-
-	// eq5At evaluates Eq. 5 with each tier's loaded latency implied by
-	// the demand at candidate CPI c, and reports the per-tier state.
-	eq5At := func(c float64) (float64, []TierPoint) {
-		demandTotal := p.Demand(c, tp.CoreSpeed, tp.LineSize) * units.BytesPerSecond(tp.Threads)
-		cpi := p.CPICache
-		tiers := make([]TierPoint, len(tp.Tiers))
-		for i, t := range tp.Tiers {
-			d := demandTotal * units.BytesPerSecond(t.HitFraction)
-			mp := systems[i].LoadedLatency(d)
-			cpi += p.MPI() * t.HitFraction * float64(mp.Cycles(tp.CoreSpeed)) * p.BF
-			tiers[i] = TierPoint{
-				Name:        t.Name,
-				MissPenalty: mp,
-				Demand:      d,
-				Utilization: systems[i].Utilization(d),
-			}
-		}
-		return cpi, tiers
-	}
-
-	// Bracket: CPI at zero queuing ≤ fixed point ≤ CPI at max stable
-	// queuing on every tier.
-	lo := p.CPICache
-	for _, t := range tp.Tiers {
-		lo += p.MPI() * t.HitFraction * float64(t.Compulsory.Cycles(tp.CoreSpeed)) * p.BF
-	}
-	hi := p.CPICache
-	for i, t := range tp.Tiers {
-		maxMP := t.Compulsory + systems[i].Curve.MaxStableDelay()
-		hi += p.MPI() * t.HitFraction * float64(maxMP.Cycles(tp.CoreSpeed)) * p.BF
-	}
-
-	// The scenario solves in CPI space; the converged CPI is Eq. 5
-	// re-evaluated at the final midpoint, which also yields the per-tier
-	// state the limits then annotate.
-	var tiers []TierPoint
-	sc := solve.Scenario{
-		Name:    p.Name + "@" + tp.Name,
-		Unknown: "cpi",
-		Lo:      lo,
-		Hi:      hi,
-		F: func(c float64) float64 {
-			got, _ := eq5At(c)
-			return got
-		},
-		CPIOf: func(c float64) float64 {
-			got, ts := eq5At(c)
-			tiers = ts
-			return got
-		},
-	}
-	// Bandwidth-limit check per tier: a tier whose share of the traffic
-	// saturates its channels bounds the whole pipeline. As in the
-	// single-tier model, the final CPI is the worse of the
-	// latency-limited CPI and each tier's bandwidth-limited CPI (Eq. 4
-	// with BW set to the tier's available bandwidth for its share). The
-	// checks chain: a clamp applied by one tier raises the CPI — and so
-	// lowers the demand — the next tier's saturation test sees.
-	for i, t := range tp.Tiers {
-		i, t := i, t
-		sc.Limits = append(sc.Limits, func(_, cpi float64) (solve.Limit, bool) {
-			demandTotal := p.Demand(cpi, tp.CoreSpeed, tp.LineSize) * units.BytesPerSecond(tp.Threads)
-			d := demandTotal * units.BytesPerSecond(t.HitFraction)
-			if float64(d) < float64(t.PeakBW)*0.999 {
-				return solve.Limit{}, false
-			}
-			tiers[i].Saturated = true
-			share := p.BytesPerInstruction(tp.LineSize) * t.HitFraction
-			bwCPI := share * float64(tp.CoreSpeed) / (float64(t.PeakBW) / float64(tp.Threads))
-			return solve.Limit{Resource: t.Name, CPI: bwCPI, Bound: true}, true
-		})
-	}
-
-	solver := solve.Solver{Options: solve.Options{Tol: 1e-9, MaxIter: 200}}
-	out, err := solver.Solve(ctx, sc)
+	pt, err := EvaluateTopology(ctx, p, tp.Topology())
 	if err != nil {
-		return TieredOperatingPoint{Iterations: out.Iterations}, err
+		return TieredOperatingPoint{Iterations: pt.Iterations}, err
+	}
+	tiers := make([]TierPoint, len(pt.Tiers))
+	for i, t := range pt.Tiers {
+		tiers[i] = TierPoint{
+			Name:        t.Name,
+			MissPenalty: t.MissPenalty,
+			Demand:      t.Demand,
+			Utilization: t.Utilization,
+			Saturated:   t.Saturated,
+		}
 	}
 	return TieredOperatingPoint{
-		CPI:            out.CPI,
+		CPI:            pt.CPI,
 		Tiers:          tiers,
-		BandwidthBound: out.Regime == solve.BandwidthLimited,
-		Iterations:     out.Iterations,
+		BandwidthBound: pt.BandwidthBound,
+		Iterations:     pt.Iterations,
 	}, nil
 }
 

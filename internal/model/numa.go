@@ -5,7 +5,6 @@ import (
 	"fmt"
 
 	"repro/internal/queueing"
-	"repro/internal/solve"
 	"repro/internal/units"
 )
 
@@ -111,10 +110,11 @@ type NUMAOperatingPoint struct {
 }
 
 // EvaluateNUMA finds the stable operating point of workload class p on a
-// symmetric NUMA platform. The scalar fixed point is the per-thread CPI,
-// found by the shared bisection kernel as in EvaluateTiered. As with
-// Evaluate, a solve.Recorder planted in ctx observes the solver
-// telemetry.
+// symmetric NUMA platform. It is the local/remote adapter over
+// EvaluateTopology (the scalar fixed point is the per-thread CPI, found
+// by the shared bisection kernel as in EvaluateTiered), bit-identical
+// to the pre-topology evaluator. As with Evaluate, a solve.Recorder
+// planted in ctx observes the solver telemetry.
 func EvaluateNUMA(ctx context.Context, p Params, np NUMAPlatform) (NUMAOperatingPoint, error) {
 	if err := p.Validate(); err != nil {
 		return NUMAOperatingPoint{}, err
@@ -122,92 +122,21 @@ func EvaluateNUMA(ctx context.Context, p Params, np NUMAPlatform) (NUMAOperating
 	if err := np.Validate(); err != nil {
 		return NUMAOperatingPoint{}, err
 	}
-
-	dram := queueing.System{Compulsory: np.LocalCompulsory, PeakBW: np.SocketPeakBW, Curve: np.Queue}
-	link := queueing.System{Compulsory: np.RemoteAdder, PeakBW: np.LinkPeakBW, Curve: np.Queue}
-	rf := np.RemoteFraction
-
-	at := func(cpi float64) (float64, NUMAOperatingPoint) {
-		perSocket := p.Demand(cpi, np.CoreSpeed, np.LineSize) * units.BytesPerSecond(np.ThreadsPerSocket)
-		// Symmetry: a socket's DRAM serves its own local traffic plus the
-		// remote traffic other sockets direct at it — which, for a
-		// symmetric mix, equals its own remote traffic.
-		dramDemand := perSocket // local (1−rf) + inbound remote rf
-		linkDemand := perSocket * units.BytesPerSecond(rf)
-
-		localMP := dram.LoadedLatency(dramDemand)
-		// A remote miss pays the remote socket's loaded DRAM latency plus
-		// the interconnect hop (with the link's own queuing).
-		remoteMP := localMP + link.LoadedLatency(linkDemand)
-
-		eff := units.Duration((1-rf)*float64(localMP) + rf*float64(remoteMP))
-		got := p.CPIEffAt(eff, np.CoreSpeed)
-		return got, NUMAOperatingPoint{
-			LocalMP:     localMP,
-			RemoteMP:    remoteMP,
-			EffectiveMP: eff,
-			DRAMDemand:  dramDemand,
-			LinkDemand:  linkDemand,
-			DRAMUtil:    dram.Utilization(dramDemand),
-			LinkUtil:    link.Utilization(linkDemand),
-		}
-	}
-
-	// Bracket the fixed point between the zero-queue and max-queue CPIs.
-	minMP := units.Duration((1-rf)*float64(np.LocalCompulsory) + rf*float64(np.LocalCompulsory+np.RemoteAdder))
-	maxDelay := np.Queue.MaxStableDelay()
-	maxMP := minMP + maxDelay + units.Duration(rf*float64(maxDelay))
-	lo, hi := p.CPIEffAt(minMP, np.CoreSpeed), p.CPIEffAt(maxMP, np.CoreSpeed)
-
-	// The scenario solves in CPI space; the per-socket state at the
-	// converged CPI feeds the bandwidth limits, which use the demands the
-	// solver saw (not recomputed at a clamped CPI — the DRAM and link
-	// checks ask whether the operating point itself saturates).
-	var state NUMAOperatingPoint
-	sc := solve.Scenario{
-		Name:    p.Name + "@" + np.Name,
-		Unknown: "cpi",
-		Lo:      lo,
-		Hi:      hi,
-		F: func(c float64) float64 {
-			got, _ := at(c)
-			return got
-		},
-		CPIOf: func(c float64) float64 {
-			got, op := at(c)
-			state = op
-			return got
-		},
-		Limits: []solve.LimitFunc{
-			// Bandwidth limits: DRAM per socket, then the link for the
-			// remote share.
-			func(_, _ float64) (solve.Limit, bool) {
-				if float64(state.DRAMDemand) < float64(np.SocketPeakBW)*0.999 {
-					return solve.Limit{}, false
-				}
-				bwCPI := p.BytesPerInstruction(np.LineSize) * float64(np.CoreSpeed) /
-					(float64(np.SocketPeakBW) / float64(np.ThreadsPerSocket))
-				return solve.Limit{Resource: "dram", CPI: bwCPI, Bound: true}, true
-			},
-			func(_, _ float64) (solve.Limit, bool) {
-				if rf <= 0 || float64(state.LinkDemand) < float64(np.LinkPeakBW)*0.999 {
-					return solve.Limit{}, false
-				}
-				bwCPI := p.BytesPerInstruction(np.LineSize) * rf * float64(np.CoreSpeed) /
-					(float64(np.LinkPeakBW) / float64(np.ThreadsPerSocket))
-				return solve.Limit{Resource: "link", CPI: bwCPI, Bound: true}, true
-			},
-		},
-	}
-
-	solver := solve.Solver{Options: solve.Options{Tol: 1e-9, MaxIter: 200}}
-	out, err := solver.Solve(ctx, sc)
+	pt, err := EvaluateTopology(ctx, p, np.Topology())
 	if err != nil {
 		return NUMAOperatingPoint{}, err
 	}
-	state.CPI = out.CPI
-	state.BandwidthBound = out.Regime == solve.BandwidthLimited
-	return state, nil
+	return NUMAOperatingPoint{
+		CPI:            pt.CPI,
+		LocalMP:        pt.Tiers[0].MissPenalty,
+		RemoteMP:       pt.Tiers[1].MissPenalty,
+		EffectiveMP:    pt.EffectiveMP,
+		DRAMDemand:     pt.Tiers[0].Demand,
+		LinkDemand:     pt.Tiers[1].Demand,
+		DRAMUtil:       pt.Tiers[0].Utilization,
+		LinkUtil:       pt.Tiers[1].Utilization,
+		BandwidthBound: pt.BandwidthBound,
+	}, nil
 }
 
 // DualSocketBaseline builds the two-socket version of the paper's

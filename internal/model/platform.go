@@ -6,7 +6,6 @@ import (
 
 	"repro/internal/params"
 	"repro/internal/queueing"
-	"repro/internal/solve"
 	"repro/internal/units"
 )
 
@@ -113,167 +112,68 @@ func (op OperatingPoint) Throughput(pl Platform) float64 {
 	return float64(pl.CoreSpeed) / op.CPI * float64(pl.Threads)
 }
 
-// platformCase is the solve-kernel adapter for one (workload, platform)
-// pair: it composes the Eq. 1 + Eq. 4 demand side with the platform's
-// queuing supply side into a solve.Scenario, and converts the kernel's
-// Outcome back into an OperatingPoint.
-type platformCase struct {
-	p      Params
-	pl     Platform
-	sys    queueing.System
-	demand queueing.DemandFunc
-	bwErr  error // deferred BandwidthLimitedCPI failure from a LimitFunc
-}
-
-func newPlatformCase(p Params, pl Platform) (*platformCase, error) {
-	if err := p.Validate(); err != nil {
-		return nil, err
+// opFromTopology maps a solved one-tier topology point back onto the
+// flat platform's operating-point shape.
+func opFromTopology(pl Platform, pt TopologyPoint) OperatingPoint {
+	t := pt.Tiers[0]
+	return OperatingPoint{
+		CPI:            pt.CPI,
+		MissPenalty:    t.MissPenalty,
+		MissPenaltyCyc: t.MissPenalty.Cycles(pl.CoreSpeed),
+		QueueDelay:     t.MissPenalty - pl.Compulsory,
+		Demand:         t.Demand,
+		Delivered:      t.Delivered,
+		Utilization:    t.Utilization,
+		BandwidthBound: pt.BandwidthBound,
 	}
-	if err := pl.Validate(); err != nil {
-		return nil, err
-	}
-	c := &platformCase{
-		p:  p,
-		pl: pl,
-		sys: queueing.System{
-			Compulsory: pl.Compulsory,
-			PeakBW:     pl.PeakBW,
-			Curve:      pl.Queue,
-		},
-	}
-	c.demand = func(mp units.Duration) units.BytesPerSecond {
-		cpi := p.CPIEffAt(mp, pl.CoreSpeed)
-		return p.Demand(cpi, pl.CoreSpeed, pl.LineSize) * units.BytesPerSecond(pl.Threads)
-	}
-	return c, nil
-}
-
-// scenario maps the case onto the kernel: the unknown is the miss
-// penalty; the limits implement §VI.C.1's saturation handoff — at a
-// saturated operating point the latency model underestimates, so the
-// model takes the worse of the latency-limited CPI and the Eq. 4
-// bandwidth-limited CPI at the per-thread available bandwidth.
-func (c *platformCase) scenario() solve.Scenario {
-	sc := c.sys.Scenario(c.p.Name+"@"+c.pl.Name, c.demand)
-	sc.CPIOf = func(mp float64) float64 {
-		return c.p.CPIEffAt(units.Duration(mp), c.pl.CoreSpeed)
-	}
-	sc.Limits = []solve.LimitFunc{
-		// Saturation clamp: active when the converged utilization reaches
-		// the curve's stability limit. Bound is false — saturation alone
-		// does not mark the point bandwidth bound unless the Eq. 4 CPI
-		// actually wins the comparison.
-		func(mp, _ float64) (solve.Limit, bool) {
-			u := c.sys.Utilization(c.demand(units.Duration(mp)))
-			if !c.sys.Saturated(u) {
-				return solve.Limit{}, false
-			}
-			availPerThread := c.pl.PeakBW / units.BytesPerSecond(c.pl.Threads)
-			bwCPI, err := c.p.BandwidthLimitedCPI(availPerThread, c.pl.CoreSpeed, c.pl.LineSize)
-			if err != nil {
-				c.bwErr = err
-				return solve.Limit{}, false
-			}
-			return solve.Limit{Resource: "memory", CPI: bwCPI}, true
-		},
-		// Demand-exceeds-peak check at the (possibly clamped) final CPI:
-		// marks the regime bandwidth limited without changing the CPI.
-		func(_, cpi float64) (solve.Limit, bool) {
-			d := c.p.Demand(cpi, c.pl.CoreSpeed, c.pl.LineSize) * units.BytesPerSecond(c.pl.Threads)
-			if d <= c.pl.PeakBW {
-				return solve.Limit{}, false
-			}
-			return solve.Limit{Resource: "memory", Bound: true}, true
-		},
-	}
-	return sc
-}
-
-// point converts a converged kernel outcome into the operating point.
-func (c *platformCase) point(out solve.Outcome) (OperatingPoint, error) {
-	if c.bwErr != nil {
-		return OperatingPoint{}, c.bwErr
-	}
-	mp := units.Duration(out.X)
-	op := OperatingPoint{
-		CPI:            out.CPI,
-		MissPenalty:    mp,
-		MissPenaltyCyc: mp.Cycles(c.pl.CoreSpeed),
-		QueueDelay:     mp - c.pl.Compulsory,
-		// BandwidthBound: either the Eq. 4 clamp raised the CPI above the
-		// latency-limited value, or demand at the final CPI exceeds peak.
-		BandwidthBound: out.CPI > c.p.CPIEffAt(mp, c.pl.CoreSpeed),
-	}
-	// Demand, delivered bandwidth, and utilization reported at the final
-	// CPI.
-	op.Demand = c.p.Demand(op.CPI, c.pl.CoreSpeed, c.pl.LineSize) * units.BytesPerSecond(c.pl.Threads)
-	if op.Demand > c.pl.PeakBW {
-		op.BandwidthBound = true
-		op.Delivered = c.pl.PeakBW
-	} else {
-		op.Delivered = op.Demand
-	}
-	op.Utilization = c.sys.Utilization(op.Demand)
-	return op, nil
 }
 
 // Evaluate finds the stable operating point of workload class p on
 // platform pl, per §VI.C.1: an iterative fixed-point between miss penalty
 // and bandwidth demand, switching to the bandwidth-limited CPI when the
-// channel saturates. The iteration itself is the shared kernel in
-// internal/solve; this evaluator is the Eq. 1/4 adapter over it.
+// channel saturates. It is the one-tier adapter over EvaluateTopology
+// (which in turn drives the shared kernel in internal/solve), and is
+// bit-identical to the pre-topology evaluator.
 //
 // A solve.Recorder planted in ctx (the engine's scheduler and the serve
 // layer do this) observes the solver telemetry, and cancellation is
 // honored between batch points.
 func Evaluate(ctx context.Context, p Params, pl Platform) (OperatingPoint, error) {
-	c, err := newPlatformCase(p, pl)
+	if err := p.Validate(); err != nil {
+		return OperatingPoint{}, err
+	}
+	if err := pl.Validate(); err != nil {
+		return OperatingPoint{}, err
+	}
+	pt, err := EvaluateTopology(ctx, p, pl.Topology())
 	if err != nil {
 		return OperatingPoint{}, err
 	}
-	out, err := solve.Solver{}.Solve(ctx, c.scenario())
-	if err != nil {
-		return OperatingPoint{}, err
-	}
-	return c.point(out)
+	return opFromTopology(pl, pt), nil
 }
 
 // EvaluateAll evaluates the full cross product of classes × platforms
 // through the kernel's batch API — the point-grid path used by sweeps
 // and the experiment engine. Points are returned as [class][platform];
-// the error is the first failure in that order.
+// the error is the first failure in that order, wrapped with the
+// failing (class, platform) indices and names.
 func EvaluateAll(ctx context.Context, classes []Params, platforms []Platform) ([][]OperatingPoint, error) {
-	cases := make([]*platformCase, 0, len(classes)*len(platforms))
-	scs := make([]solve.Scenario, 0, len(classes)*len(platforms))
-	for _, p := range classes {
-		for _, pl := range platforms {
-			// Abandoned grids (a server-side deadline, a disconnected
-			// sweep client) stop between points rather than validating
-			// and queueing the rest of the cross product.
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-			c, err := newPlatformCase(p, pl)
-			if err != nil {
-				return nil, err
-			}
-			cases = append(cases, c)
-			scs = append(scs, c.scenario())
+	tops := make([]Topology, len(platforms))
+	for j, pl := range platforms {
+		if err := pl.Validate(); err != nil {
+			return nil, fmt.Errorf("platform %d (%s): %w", j, pl.Name, err)
 		}
+		tops[j] = pl.Topology()
 	}
-	outs, err := solve.Solver{}.SolveAll(ctx, scs)
+	topoGrid, err := EvaluateTopologyAll(ctx, classes, tops)
 	if err != nil {
 		return nil, err
 	}
 	grid := make([][]OperatingPoint, len(classes))
 	for i := range classes {
 		grid[i] = make([]OperatingPoint, len(platforms))
-		for j := range platforms {
-			k := i*len(platforms) + j
-			grid[i][j], err = cases[k].point(outs[k])
-			if err != nil {
-				return nil, err
-			}
+		for j, pl := range platforms {
+			grid[i][j] = opFromTopology(pl, topoGrid[i][j])
 		}
 	}
 	return grid, nil

@@ -17,6 +17,7 @@ const (
 	epEvaluate = "evaluate"
 	epTiered   = "tiered"
 	epNUMA     = "numa"
+	epTopology = "topology"
 	epSweep    = "sweep"
 )
 
@@ -63,7 +64,7 @@ func New(opts ...Option) *Server {
 		cfg:     cfg,
 		cache:   NewCache(cfg.cacheSize),
 		adm:     NewAdmission(cfg.maxConcurrent, cfg.maxQueue),
-		metrics: newMetrics([]string{epEvaluate, epTiered, epNUMA, epSweep}),
+		metrics: newMetrics([]string{epEvaluate, epTiered, epNUMA, epTopology, epSweep}),
 		faults:  newFaultInjector(cfg.faults),
 		clock:   cfg.clock,
 	}
@@ -75,6 +76,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/evaluate", s.post(epEvaluate, s.prepareEvaluate))
 	mux.HandleFunc("/v1/evaluate/tiered", s.post(epTiered, s.prepareTiered))
 	mux.HandleFunc("/v1/evaluate/numa", s.post(epNUMA, s.prepareNUMA))
+	mux.HandleFunc("/v1/evaluate/topology", s.post(epTopology, s.prepareTopology))
 	mux.HandleFunc("/v1/sweep", s.post(epSweep, s.prepareSweep))
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
@@ -123,6 +125,7 @@ type cachedMarker interface{ markCached() any }
 func (r EvaluateResponse) markCached() any { r.Cached = true; return r }
 func (r TieredResponse) markCached() any   { r.Cached = true; return r }
 func (r NUMAResponse) markCached() any     { r.Cached = true; return r }
+func (r TopologyResponse) markCached() any { r.Cached = true; return r }
 func (r SweepResponse) markCached() any    { r.Cached = true; return r }
 
 // post wraps one endpoint: fault injection (when armed), method check,
@@ -324,6 +327,52 @@ func (s *Server) prepareNUMA(dec *json.Decoder) (preparation, error) {
 				BandwidthBound: op.BandwidthBound,
 				Solver:         solverBody(agg.Stats()),
 			}, nil
+		},
+	}, nil
+}
+
+func (s *Server) prepareTopology(dec *json.Decoder) (preparation, error) {
+	var req TopologyRequest
+	if err := dec.Decode(&req); err != nil {
+		return preparation{}, fmt.Errorf("decode: %w", err)
+	}
+	p, err := req.Params.Params()
+	if err != nil {
+		return preparation{}, err
+	}
+	top, err := req.Topology.Topology()
+	if err != nil {
+		return preparation{}, err
+	}
+	return preparation{
+		key: model.ScenarioKey("topology", model.CanonicalParams(p), model.CanonicalTopology(top)),
+		run: func(ctx context.Context) (any, error) {
+			ctx, agg := s.record(ctx)
+			pt, err := model.EvaluateTopology(ctx, p, top)
+			if err != nil {
+				return nil, err
+			}
+			resp := TopologyResponse{
+				Workload:       p.Name,
+				Platform:       top.Name,
+				Policy:         top.Policy.String(),
+				CPI:            pt.CPI,
+				EffectiveNS:    pt.EffectiveMP.Nanoseconds(),
+				BandwidthBound: pt.BandwidthBound,
+				Limiter:        pt.Limiter,
+				Solver:         solverBody(agg.Stats()),
+			}
+			for _, t := range pt.Tiers {
+				resp.Tiers = append(resp.Tiers, TopologyTierPointBody{
+					Name:          t.Name,
+					MissPenaltyNS: t.MissPenalty.Nanoseconds(),
+					DemandGBps:    t.Demand.GBps(),
+					DeliveredGBps: t.Delivered.GBps(),
+					Utilization:   t.Utilization,
+					Saturated:     t.Saturated,
+				})
+			}
+			return resp, nil
 		},
 	}, nil
 }

@@ -380,6 +380,107 @@ func (s NUMAPlatformSpec) Platform() (model.NUMAPlatform, error) {
 	return np, nil
 }
 
+// TopologyTierSpec is one memory tier of an N-tier topology.
+type TopologyTierSpec struct {
+	Name string `json:"name,omitempty"`
+	// Share is the tier's traffic share: a fraction summing to 1 under
+	// the "fractions" policy, a non-negative interleave weight under
+	// "interleave", ignored under "local-remote".
+	Share        float64 `json:"share,omitempty"`
+	CompulsoryNS float64 `json:"compulsory_ns"`
+	PeakGBps     float64 `json:"peak_gbps"`
+	// Efficiency derates peak to sustained bandwidth, in (0,1];
+	// 0 means 1.0 (no derating).
+	Efficiency float64   `json:"efficiency,omitempty"`
+	Queue      CurveSpec `json:"queue,omitempty"`
+}
+
+// TopologySpec describes an N-tier memory topology — the unified form
+// behind the flat, tiered, and NUMA platforms. The core side defaults
+// like PlatformSpec; the tiers must be explicit.
+type TopologySpec struct {
+	Name     string  `json:"name,omitempty"`
+	Cores    int     `json:"cores,omitempty"`
+	Threads  int     `json:"threads,omitempty"`
+	GHz      float64 `json:"ghz,omitempty"`
+	LineSize float64 `json:"line_size,omitempty"`
+	// Policy is "fractions" (default), "interleave", or "local-remote".
+	Policy string `json:"policy,omitempty"`
+	// RemoteFraction is the interconnect-traversing share under
+	// "local-remote".
+	RemoteFraction float64            `json:"remote_fraction,omitempty"`
+	Tiers          []TopologyTierSpec `json:"tiers"`
+}
+
+// splitPolicy parses the wire policy name.
+func splitPolicy(s string) (model.SplitPolicy, error) {
+	switch strings.ToLower(s) {
+	case "", "fractions":
+		return model.SplitFractions, nil
+	case "interleave":
+		return model.SplitInterleave, nil
+	case "local-remote", "numa":
+		return model.SplitLocalRemote, nil
+	}
+	return 0, fmt.Errorf("%w: unknown split policy %q (want fractions, interleave, or local-remote)",
+		model.ErrInvalidPlatform, s)
+}
+
+// Topology materializes the spec and validates it. Errors wrap
+// model.ErrInvalidPlatform.
+func (s TopologySpec) Topology() (model.Topology, error) {
+	b := params.Baseline()
+	top := model.Topology{
+		Name:           s.Name,
+		Cores:          s.Cores,
+		Threads:        s.Threads,
+		CoreSpeed:      units.GHzOf(s.GHz),
+		LineSize:       units.Bytes(s.LineSize),
+		RemoteFraction: s.RemoteFraction,
+	}
+	var err error
+	if top.Policy, err = splitPolicy(s.Policy); err != nil {
+		return model.Topology{}, err
+	}
+	if top.Name == "" {
+		top.Name = "serve-topology"
+	}
+	if top.Cores == 0 {
+		top.Cores = b.Cores
+	}
+	if top.Threads == 0 {
+		top.Threads = top.Cores * b.ThreadsPerCore
+	}
+	if top.CoreSpeed == 0 {
+		top.CoreSpeed = b.CoreSpeed
+	}
+	if top.LineSize == 0 {
+		top.LineSize = b.LineSize
+	}
+	for i, ts := range s.Tiers {
+		curve, err := ts.Queue.Curve()
+		if err != nil {
+			return model.Topology{}, err
+		}
+		name := ts.Name
+		if name == "" {
+			name = fmt.Sprintf("tier%d", i)
+		}
+		top.Tiers = append(top.Tiers, model.MemTier{
+			Name:       name,
+			Share:      ts.Share,
+			Compulsory: units.Duration(ts.CompulsoryNS),
+			PeakBW:     units.GBpsOf(ts.PeakGBps),
+			Efficiency: ts.Efficiency,
+			Queue:      curve,
+		})
+	}
+	if err := top.Validate(); err != nil {
+		return model.Topology{}, err
+	}
+	return top, nil
+}
+
 // EvaluateRequest is the body of POST /v1/evaluate.
 type EvaluateRequest struct {
 	Params   ParamsSpec   `json:"params"`
@@ -396,6 +497,12 @@ type TieredRequest struct {
 type NUMARequest struct {
 	Params   ParamsSpec       `json:"params"`
 	Platform NUMAPlatformSpec `json:"platform"`
+}
+
+// TopologyRequest is the body of POST /v1/evaluate/topology.
+type TopologyRequest struct {
+	Params   ParamsSpec   `json:"params"`
+	Topology TopologySpec `json:"topology"`
 }
 
 // BandwidthVariantSpec is one platform variant of a bandwidth sweep.
@@ -505,6 +612,30 @@ type NUMAResponse struct {
 	BandwidthBound bool       `json:"bandwidth_bound"`
 	Solver         SolverBody `json:"solver"`
 	Cached         bool       `json:"cached"`
+}
+
+// TopologyTierPointBody is one tier's share of a topology reply.
+type TopologyTierPointBody struct {
+	Name          string  `json:"name"`
+	MissPenaltyNS float64 `json:"miss_penalty_ns"`
+	DemandGBps    float64 `json:"demand_gbps"`
+	DeliveredGBps float64 `json:"delivered_gbps"`
+	Utilization   float64 `json:"utilization"`
+	Saturated     bool    `json:"saturated"`
+}
+
+// TopologyResponse is the body of a /v1/evaluate/topology reply.
+type TopologyResponse struct {
+	Workload       string                  `json:"workload"`
+	Platform       string                  `json:"platform"`
+	Policy         string                  `json:"policy"`
+	CPI            float64                 `json:"cpi"`
+	EffectiveNS    float64                 `json:"effective_ns"`
+	BandwidthBound bool                    `json:"bandwidth_bound"`
+	Limiter        string                  `json:"limiter,omitempty"`
+	Tiers          []TopologyTierPointBody `json:"tiers"`
+	Solver         SolverBody              `json:"solver"`
+	Cached         bool                    `json:"cached"`
 }
 
 // SweepPointBody is one platform variant of a sweep reply.

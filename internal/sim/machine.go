@@ -315,14 +315,6 @@ func (m *Machine) Run(ctx context.Context, warmupInstr, measureInstr uint64) (Me
 	return m.measure(start, sampler), nil
 }
 
-// RunNoCtx is Run under its pre-context-first shape, for callers with no
-// cancellation to propagate.
-//
-// Deprecated: Run is context-first; call it directly.
-func (m *Machine) RunNoCtx(warmupInstr, measureInstr uint64) (Measurement, error) {
-	return m.Run(context.Background(), warmupInstr, measureInstr)
-}
-
 func (m *Machine) measure(start units.Duration, sampler *pmu.Sampler) Measurement {
 	freq := m.cfg.Core.Freq
 	var agg cache.Counters

@@ -326,10 +326,24 @@ func damp(sc Scenario, o Options) (Outcome, error) {
 // context cancellation). Telemetry recording is safe for concurrent
 // use because recorders are required to be.
 func (s Solver) SolveAll(ctx context.Context, scs []Scenario) ([]Outcome, error) {
+	outs, errs := s.SolveEach(ctx, scs)
+	for _, err := range errs {
+		if err != nil {
+			return outs, err
+		}
+	}
+	return outs, nil
+}
+
+// SolveEach is SolveAll with per-scenario error attribution: every
+// scenario's error is returned at its input index instead of collapsing
+// the batch to the first failure. Grid callers use this to report which
+// (class, platform) cell failed rather than an anonymous batch error.
+func (s Solver) SolveEach(ctx context.Context, scs []Scenario) ([]Outcome, []error) {
 	outs := make([]Outcome, len(scs))
 	errs := make([]error, len(scs))
 	if len(scs) == 0 {
-		return outs, nil
+		return outs, errs
 	}
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(scs) {
@@ -365,10 +379,5 @@ feed:
 	}
 	close(next)
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return outs, err
-		}
-	}
-	return outs, nil
+	return outs, errs
 }

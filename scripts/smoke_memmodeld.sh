@@ -46,10 +46,20 @@ eval_body="$(curl -fsS -X POST "$BASE/v1/evaluate" \
   -d '{"params":{"class":"bigdata"},"platform":{}}')"
 grep -q '"cpi"' <<<"$eval_body" || { echo "evaluate reply missing cpi: $eval_body"; exit 1; }
 
-echo "== check /metrics counted the solve"
+echo "== POST /v1/evaluate/topology"
+topo_body="$(curl -fsS -X POST "$BASE/v1/evaluate/topology" \
+  -H 'Content-Type: application/json' \
+  -d '{"params":{"class":"bigdata"},"topology":{"tiers":[
+        {"name":"near","share":0.8,"compulsory_ns":75,"peak_gbps":42},
+        {"name":"far","share":0.2,"compulsory_ns":300,"peak_gbps":10,"efficiency":0.8}]}}')"
+grep -q '"cpi"' <<<"$topo_body" || { echo "topology reply missing cpi: $topo_body"; exit 1; }
+grep -q '"policy": *"fractions"' <<<"$topo_body" \
+  || { echo "topology reply missing policy: $topo_body"; exit 1; }
+
+echo "== check /metrics counted both solves"
 metrics="$(curl -fsS "$BASE/metrics")"
-grep -q '^memmodeld_cache_misses_total 1$' <<<"$metrics" \
-  || { echo "metrics missing the cold solve:"; grep memmodeld_cache <<<"$metrics" || true; exit 1; }
+grep -q '^memmodeld_cache_misses_total 2$' <<<"$metrics" \
+  || { echo "metrics missing the cold solves:"; grep memmodeld_cache <<<"$metrics" || true; exit 1; }
 
 echo "== SIGTERM and wait for graceful drain"
 kill -TERM "$PID"
