@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"repro/internal/cache"
+	"repro/internal/cluster"
 	"repro/internal/experiments"
 	"repro/internal/memsys"
 	"repro/internal/model"
@@ -300,4 +301,28 @@ func BenchmarkMLCSweepPoint(b *testing.B) {
 // BenchmarkFutureMemory evaluates the §VII future-memory designs.
 func BenchmarkFutureMemory(b *testing.B) {
 	runArtifact(b, (*experiments.Suite).FutureMemory)
+}
+
+// BenchmarkClusterSimulate runs the reference 8-host fleet under the
+// model-aware weighted policy: the (tenant, host) pricing pass plus
+// the discrete-event loop end to end.
+func BenchmarkClusterSimulate(b *testing.B) {
+	spec := cluster.Spec{
+		Hosts:    cluster.DefaultFleet(),
+		Tenants:  cluster.DefaultTenants(),
+		Policy:   cluster.WeightedScore,
+		Duration: 4 * units.Second,
+		Warmup:   units.Second / 2,
+		Seed:     42,
+	}
+	var events int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := cluster.Simulate(context.Background(), spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events = res.Events
+	}
+	b.ReportMetric(float64(events)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
 }

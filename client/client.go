@@ -254,6 +254,18 @@ func (c *Client) EvaluateTopology(ctx context.Context, req TopologyRequest) (*To
 	return &resp, nil
 }
 
+// ClusterSimulate races routing policies over a simulated fleet of
+// memmodel hosts (POST /v1/cluster/simulate). An empty request runs
+// the reference 8-host DRAM/HBM/CXL fleet under the three Table 6
+// classes with all three policies.
+func (c *Client) ClusterSimulate(ctx context.Context, req ClusterRequest) (*ClusterResponse, error) {
+	var resp ClusterResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/cluster/simulate", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
 // Sweep runs a latency or bandwidth grid (POST /v1/sweep).
 func (c *Client) Sweep(ctx context.Context, req SweepRequest) (*SweepResponse, error) {
 	var resp SweepResponse

@@ -40,6 +40,12 @@ type (
 	TopologyRequest = serve.TopologyRequest
 	// SweepRequest is the body of POST /v1/sweep.
 	SweepRequest = serve.SweepRequest
+	// ClusterHostSpec is one host shape of a fleet simulation.
+	ClusterHostSpec = serve.ClusterHostSpec
+	// ClusterTenantSpec is one workload class offering load to a fleet.
+	ClusterTenantSpec = serve.ClusterTenantSpec
+	// ClusterRequest is the body of POST /v1/cluster/simulate.
+	ClusterRequest = serve.ClusterRequest
 
 	// EvaluateResponse is the body of a /v1/evaluate reply.
 	EvaluateResponse = serve.EvaluateResponse
@@ -53,6 +59,14 @@ type (
 	TopologyTierPointBody = serve.TopologyTierPointBody
 	// SweepResponse is the body of a /v1/sweep reply.
 	SweepResponse = serve.SweepResponse
+	// ClusterResponse is the body of a /v1/cluster/simulate reply.
+	ClusterResponse = serve.ClusterResponse
+	// ClusterPolicyBody is one policy's fleet simulation outcome.
+	ClusterPolicyBody = serve.ClusterPolicyBody
+	// ClusterTenantBody is one tenant's SLO metrics in a fleet reply.
+	ClusterTenantBody = serve.ClusterTenantBody
+	// ClusterHostBody is one host's serving counters in a fleet reply.
+	ClusterHostBody = serve.ClusterHostBody
 	// OperatingPointBody is the wire form of a solved operating point.
 	OperatingPointBody = serve.OperatingPointBody
 	// SolverBody echoes the solver telemetry behind a response.

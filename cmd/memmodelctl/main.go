@@ -7,6 +7,14 @@
 //	memmodelctl [flags] health
 //	memmodelctl [flags] eval [-class bigdata] [-compulsory-ns N] [-peak-gbps N]
 //	memmodelctl [flags] soak [-n 200] [-workers 4] [-spread 8]
+//	memmodelctl [flags] cluster [-policies weighted,rr] [-duration 4] [-seed 42] [-rate-scale 1]
+//	memmodelctl -version
+//
+// `cluster` runs the daemon-side fleet simulator over the reference
+// 8-host DRAM/HBM/CXL fleet and prints the per-policy SLO metrics as
+// JSON. -policies narrows the race (comma-separated; empty means all
+// three), -rate-scale multiplies every tenant's offered load for quick
+// saturation sweeps.
 //
 // Global flags shape the reliability stack the SDK brings: -budget is
 // the overall per-call deadline, -max-attempts caps retries inside it,
@@ -28,13 +36,17 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/client"
+	"repro/internal/version"
 )
 
 func main() {
 	var (
+		showVersion = flag.Bool("version", false, "print build identity and exit")
+
 		addr        = flag.String("addr", "http://127.0.0.1:8080", "memmodeld base URL")
 		budget      = flag.Duration("budget", 30*time.Second, "overall per-call deadline budget")
 		attemptTO   = flag.Duration("attempt-timeout", 5*time.Second, "per-attempt timeout inside the budget")
@@ -47,10 +59,14 @@ func main() {
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: memmodelctl [flags] <health|eval|soak> [command flags]\n\nflags:\n")
+			"usage: memmodelctl [flags] <health|eval|soak|cluster> [command flags]\n\nflags:\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(version.String())
+		return
+	}
 	if flag.NArg() < 1 {
 		flag.Usage()
 		os.Exit(2)
@@ -73,6 +89,8 @@ func main() {
 		err = runEval(c, flag.Args()[1:])
 	case "soak":
 		err = runSoak(c, flag.Args()[1:])
+	case "cluster":
+		err = runCluster(c, flag.Args()[1:])
 	default:
 		fmt.Fprintf(os.Stderr, "memmodelctl: unknown command %q\n", cmd)
 		flag.Usage()
@@ -108,6 +126,33 @@ func runEval(c *client.Client, args []string) error {
 	})
 	if err != nil {
 		return fmt.Errorf("eval: %w", err)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(resp)
+}
+
+// runCluster races routing policies on the daemon's fleet simulator
+// and prints the per-policy SLO report.
+func runCluster(c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("cluster", flag.ExitOnError)
+	policies := fs.String("policies", "", "comma-separated routing policies (empty = all three)")
+	duration := fs.Float64("duration", 4, "simulated arrival horizon in seconds")
+	seed := fs.Uint64("sim-seed", 42, "arrival-stream seed (same seed, same fleet, same metrics)")
+	scale := fs.Float64("rate-scale", 1, "multiplier on every tenant's offered rate")
+	fs.Parse(args)
+
+	req := client.ClusterRequest{
+		DurationS: *duration,
+		Seed:      *seed,
+		RateScale: *scale,
+	}
+	if *policies != "" {
+		req.Policies = strings.Split(*policies, ",")
+	}
+	resp, err := c.ClusterSimulate(context.Background(), req)
+	if err != nil {
+		return fmt.Errorf("cluster: %w", err)
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

@@ -34,10 +34,13 @@ import (
 	"time"
 
 	"repro/internal/serve"
+	"repro/internal/version"
 )
 
 func main() {
 	var (
+		showVersion = flag.Bool("version", false, "print build identity and exit")
+
 		addr    = flag.String("addr", ":8080", "listen address")
 		cache   = flag.Int("cache", 4096, "scenario cache capacity (entries)")
 		conc    = flag.Int("concurrency", runtime.GOMAXPROCS(0), "max concurrent evaluations")
@@ -53,6 +56,10 @@ func main() {
 		faultDropP    = flag.Float64("fault-drop-p", 0, "probability of a dropped connection per /v1 request")
 	)
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(version.String())
+		return
+	}
 
 	faults := serve.FaultConfig{
 		Seed:         *faultSeed,

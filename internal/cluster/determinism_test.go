@@ -1,0 +1,62 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestDeterminism is the contract test: the same Spec and seed must
+// reproduce the event stream and every metric bit-exactly, run to run.
+func TestDeterminism(t *testing.T) {
+	for _, p := range Policies() {
+		a, err := Simulate(bg, defaultSpec(p))
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		b, err := Simulate(bg, defaultSpec(p))
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if a.EventHash != b.EventHash {
+			t.Errorf("%s: event order diverged: %x vs %x", p, a.EventHash, b.EventHash)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: results diverged between identical runs", p)
+		}
+	}
+}
+
+// TestSeedSensitivity: a different seed is a different traffic trace —
+// the event hash must move, and so must at least one latency sample set.
+func TestSeedSensitivity(t *testing.T) {
+	base := defaultSpec(WeightedScore)
+	reseeded := defaultSpec(WeightedScore)
+	reseeded.Seed = base.Seed + 1
+	a, err := Simulate(bg, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(bg, reseeded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.EventHash == b.EventHash {
+		t.Error("different seeds produced identical event streams")
+	}
+}
+
+// TestPoliciesDiverge: routing is part of the event order, so distinct
+// policies must produce distinct event hashes on the same traffic.
+func TestPoliciesDiverge(t *testing.T) {
+	seen := map[uint64]Policy{}
+	for _, p := range Policies() {
+		res, err := Simulate(bg, defaultSpec(p))
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if prev, dup := seen[res.EventHash]; dup {
+			t.Errorf("%s and %s produced the same event hash", p, prev)
+		}
+		seen[res.EventHash] = p
+	}
+}

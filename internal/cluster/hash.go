@@ -1,0 +1,45 @@
+package cluster
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/model"
+)
+
+// Canonical spec serialization, following the model/hash.go rules: the
+// serving layer caches fleet runs keyed by the mathematical content of
+// the Spec, so names are excluded, every float is rendered in exact
+// hexadecimal, and host topologies reuse model.CanonicalTopology. Host
+// and tenant order is significant — it is the routing and seeding
+// order.
+
+func hexf(f float64) string { return strconv.FormatFloat(f, 'x', -1, 64) }
+
+// CanonicalSpec serializes everything Simulate's outcome depends on.
+func CanonicalSpec(s Spec) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cluster{policy=%s,dur=%s,warm=%s,seed=%d,maxev=%d,hosts=[",
+		s.Policy, hexf(float64(s.Duration)), hexf(float64(s.Warmup)), s.Seed, s.MaxEvents)
+	for i, h := range s.Hosts {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		fmt.Fprintf(&b, "slots=%d,rate=%s,burst=%s,%s",
+			h.slots(), hexf(h.AdmitRate), hexf(h.AdmitBurst), model.CanonicalTopology(h.Topology))
+	}
+	b.WriteString("],tenants=[")
+	for i, t := range s.Tenants {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		fmt.Fprintf(&b, "rate=%s,work=%s,%s",
+			hexf(t.Rate), hexf(t.Work), model.CanonicalParams(t.Params))
+	}
+	b.WriteString("]}")
+	return b.String()
+}
+
+// Key folds the canonical spec into a compact cache key.
+func Key(s Spec) string { return model.ScenarioKey("cluster", CanonicalSpec(s)) }

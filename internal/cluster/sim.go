@@ -1,0 +1,376 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"repro/internal/model"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+// ctxCheckEvents is how often the event loop polls ctx — the same
+// cadence internal/sim uses per simulation step.
+const ctxCheckEvents = 1024
+
+// evKind orders event processing; arrivals and completions at the same
+// timestamp resolve by push sequence, never by kind.
+type evKind uint8
+
+const (
+	evArrival evKind = iota
+	evCompletion
+)
+
+// event is one heap entry. seq is the monotone push counter that makes
+// the (at, seq) order a deterministic total order, exactly like the
+// (timestamp, thread index) key of internal/sim's machine heap.
+type event struct {
+	at      units.Duration
+	seq     uint64
+	kind    evKind
+	tenant  int
+	host    int            // completion only
+	arrived units.Duration // completion only: the request's arrival time
+}
+
+// eventHeap is a slice-backed binary min-heap over (at, seq).
+type eventHeap []event
+
+func (h eventHeap) before(a, b event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.before((*h)[i], (*h)[parent]) {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	top := (*h)[0]
+	last := len(*h) - 1
+	(*h)[0] = (*h)[last]
+	*h = (*h)[:last]
+	h.siftDown(0)
+	return top
+}
+
+func (h eventHeap) siftDown(i int) {
+	n := len(h)
+	for {
+		left, smallest := 2*i+1, i
+		if left < n && h.before(h[left], h[smallest]) {
+			smallest = left
+		}
+		if right := left + 1; right < n && h.before(h[right], h[smallest]) {
+			smallest = right
+		}
+		if smallest == i {
+			return
+		}
+		h[i], h[smallest] = h[smallest], h[i]
+		i = smallest
+	}
+}
+
+// price is the model's prediction for one (tenant, host) pair: the
+// unloaded service time of one request and its bandwidth footprint.
+type price struct {
+	service units.Duration       // Work × CPI / CoreSpeed at the solved operating point
+	demand  float64              // B/s one in-service request adds to the host
+	point   model.TopologyPoint  // the underlying operating point
+}
+
+// pending is one admitted request waiting for a service slot.
+type pending struct {
+	tenant  int
+	arrived units.Duration
+}
+
+// hostState is the mutable serving state of one host.
+type hostState struct {
+	spec     *HostSpec
+	slots    int
+	capacity float64 // Σ tier sustained bandwidth, B/s
+
+	inflight int
+	queue    []pending
+	demand   float64 // B/s of in-service requests
+
+	tokens     float64
+	lastRefill units.Duration
+
+	busy        units.Duration
+	completions int64
+	shed        int64
+	peakQueue   int
+}
+
+// tenantState accumulates one tenant's observations.
+type tenantState struct {
+	rng      *trace.RNG
+	meanIA   float64 // mean interarrival, ns
+	offered  int64
+	shed     int64
+	samples  []float64 // latency ns, post-warmup arrivals only
+	minServe units.Duration
+}
+
+// fleet is the running simulation.
+type fleet struct {
+	spec   Spec
+	hosts  []hostState
+	tens   []tenantState
+	prices [][]price // [tenant][host]
+	rr     []int     // per-tenant round-robin cursor
+	heap   eventHeap
+	seq    uint64
+	hash   hash64
+	events int64
+	last   units.Duration // latest completion timestamp seen
+}
+
+// hash64 is a tiny FNV-64a fold of the popped event stream — the
+// bit-identical-event-order witness of the determinism contract.
+type hash64 struct{ sum uint64 }
+
+func newHash64() hash64 {
+	h := fnv.New64a()
+	return hash64{sum: h.Sum64()}
+}
+
+func (h *hash64) fold(words ...uint64) {
+	for _, w := range words {
+		for i := 0; i < 8; i++ {
+			h.sum ^= (w >> (8 * i)) & 0xFF
+			h.sum *= 1099511628211
+		}
+	}
+}
+
+// Simulate runs the fleet to completion: arrivals over [0, Duration),
+// then a full drain of every queue. ctx cancellation is honored both in
+// the per-pair model evaluations and inside the event loop.
+func Simulate(ctx context.Context, spec Spec) (Result, error) {
+	if err := spec.Validate(); err != nil {
+		return Result{}, err
+	}
+	f, err := newFleet(ctx, spec)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := f.run(ctx); err != nil {
+		return Result{}, err
+	}
+	return f.result(), nil
+}
+
+// newFleet prices every (tenant, host) pair through the analytic model
+// and seeds the first arrival of every tenant. Hosts sharing a topology
+// share the solve through a canonical-key memo.
+func newFleet(ctx context.Context, spec Spec) (*fleet, error) {
+	f := &fleet{
+		spec:   spec,
+		hosts:  make([]hostState, len(spec.Hosts)),
+		tens:   make([]tenantState, len(spec.Tenants)),
+		prices: make([][]price, len(spec.Tenants)),
+		rr:     make([]int, len(spec.Tenants)),
+		hash:   newHash64(),
+	}
+	for h := range spec.Hosts {
+		hs := &f.hosts[h]
+		hs.spec = &spec.Hosts[h]
+		hs.slots = hs.spec.slots()
+		for _, tier := range hs.spec.Topology.Tiers {
+			hs.capacity += float64(tier.SustainedBW())
+		}
+		if hs.spec.AdmitRate > 0 {
+			hs.tokens = hs.spec.burst()
+		}
+	}
+	memo := map[string]model.TopologyPoint{}
+	for t := range spec.Tenants {
+		ten := &spec.Tenants[t]
+		f.prices[t] = make([]price, len(spec.Hosts))
+		ts := &f.tens[t]
+		for h := range spec.Hosts {
+			top := spec.Hosts[h].Topology
+			key := model.ScenarioKey(model.CanonicalParams(ten.Params), model.CanonicalTopology(top))
+			pt, ok := memo[key]
+			if !ok {
+				var err error
+				pt, err = model.EvaluateTopology(ctx, ten.Params, top)
+				if err != nil {
+					return nil, fmt.Errorf("cluster: tenant %s on host %s: %w", ten.Name, spec.Hosts[h].Name, err)
+				}
+				memo[key] = pt
+			}
+			service := units.Duration(ten.Work * pt.CPI / float64(top.CoreSpeed) * 1e9)
+			var total float64
+			for _, tier := range pt.Tiers {
+				total += float64(tier.Demand)
+			}
+			f.prices[t][h] = price{
+				service: service,
+				demand:  total / float64(top.Threads),
+				point:   pt,
+			}
+			if ts.minServe == 0 || service < ts.minServe {
+				ts.minServe = service
+			}
+		}
+		// Seed mixing in the splitmix64 style: distinct tenants draw from
+		// unrelated xorshift streams even with adjacent seeds.
+		ts.rng = trace.NewRNG((spec.Seed + uint64(t) + 1) * 0x9E3779B97F4A7C15)
+		ts.meanIA = 1e9 / ten.Rate
+		f.schedule(event{kind: evArrival, tenant: t,
+			at: units.Duration(ts.rng.Exp(ts.meanIA))})
+	}
+	return f, nil
+}
+
+func (f *fleet) schedule(e event) {
+	e.seq = f.seq
+	f.seq++
+	f.heap.push(e)
+}
+
+func (f *fleet) maxEvents() int64 {
+	if f.spec.MaxEvents > 0 {
+		return int64(f.spec.MaxEvents)
+	}
+	return defaultMaxEvents
+}
+
+func (f *fleet) run(ctx context.Context) error {
+	limit := f.maxEvents()
+	for len(f.heap) > 0 {
+		if f.events%ctxCheckEvents == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		if f.events >= limit {
+			return fmt.Errorf("%w: cluster event budget exceeded (%d events; shrink duration or rates)",
+				model.ErrInvalidPlatform, limit)
+		}
+		e := f.heap.pop()
+		f.events++
+		switch e.kind {
+		case evArrival:
+			f.hash.fold(0, uint64(e.tenant), math.Float64bits(float64(e.at)))
+			f.arrive(e)
+		case evCompletion:
+			f.hash.fold(1, uint64(e.tenant), uint64(e.host), math.Float64bits(float64(e.at)))
+			f.complete(e)
+		}
+	}
+	return nil
+}
+
+// arrive routes, admits, and either starts or queues one request, then
+// schedules the tenant's next arrival inside the horizon.
+func (f *fleet) arrive(e event) {
+	ts := &f.tens[e.tenant]
+	if next := e.at + units.Duration(ts.rng.Exp(ts.meanIA)); next < f.spec.Duration {
+		f.schedule(event{kind: evArrival, tenant: e.tenant, at: next})
+	}
+	measured := e.at >= f.spec.Warmup
+	if measured {
+		ts.offered++
+	}
+
+	h := f.route(e.tenant)
+	hs := &f.hosts[h]
+	if hs.spec.AdmitRate > 0 && !hs.admit(e.at) {
+		hs.shed++
+		if measured {
+			ts.shed++
+		}
+		return
+	}
+	if hs.inflight < hs.slots {
+		f.startService(h, pending{tenant: e.tenant, arrived: e.at}, e.at)
+		return
+	}
+	hs.queue = append(hs.queue, pending{tenant: e.tenant, arrived: e.at})
+	if len(hs.queue) > hs.peakQueue {
+		hs.peakQueue = len(hs.queue)
+	}
+}
+
+// admit refills the token bucket up to now and spends one token if
+// available.
+func (hs *hostState) admit(now units.Duration) bool {
+	burst := hs.spec.burst()
+	hs.tokens += hs.spec.AdmitRate * (now - hs.lastRefill).Seconds()
+	if hs.tokens > burst {
+		hs.tokens = burst
+	}
+	hs.lastRefill = now
+	if hs.tokens < 1 {
+		return false
+	}
+	hs.tokens--
+	return true
+}
+
+// startService occupies a slot. The service time is the model-predicted
+// base stretched by the host's bandwidth oversubscription at dispatch:
+// when the in-service requests' combined predicted demand exceeds the
+// host's sustained bandwidth, every byte takes proportionally longer.
+// The stretch is fixed at dispatch — a deterministic first-order stand-in
+// for re-solving the operating point as the mix changes.
+func (f *fleet) startService(h int, req pending, now units.Duration) {
+	hs := &f.hosts[h]
+	pr := f.price(req.tenant, h)
+	hs.inflight++
+	hs.demand += pr.demand
+	stretch := 1.0
+	if hs.capacity > 0 && hs.demand > hs.capacity {
+		stretch = hs.demand / hs.capacity
+	}
+	dur := units.Duration(pr.service.Nanoseconds() * stretch)
+	hs.busy += dur
+	f.schedule(event{kind: evCompletion, tenant: req.tenant, host: h,
+		at: now + dur, arrived: req.arrived})
+}
+
+// complete frees the slot, records the request, and dispatches the next
+// queued request if any.
+func (f *fleet) complete(e event) {
+	hs := &f.hosts[e.host]
+	hs.inflight--
+	hs.demand -= f.price(e.tenant, e.host).demand
+	if hs.demand < 0 {
+		hs.demand = 0 // guard float drift
+	}
+	hs.completions++
+	if e.at > f.last {
+		f.last = e.at
+	}
+	if e.arrived >= f.spec.Warmup {
+		f.tens[e.tenant].samples = append(f.tens[e.tenant].samples,
+			(e.at - e.arrived).Nanoseconds())
+	}
+	if len(hs.queue) > 0 {
+		req := hs.queue[0]
+		hs.queue = hs.queue[1:]
+		f.startService(e.host, req, e.at)
+	}
+}
+
+func (f *fleet) price(t, h int) price { return f.prices[t][h] }

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// parseClusterRow indexes cluster-routing rows by (policy, tenant).
+func clusterRowMap(t *testing.T, rows [][]string) map[string][]string {
+	t.Helper()
+	m := map[string][]string{}
+	for _, r := range rows {
+		m[r[0]+"/"+r[1]] = r
+	}
+	return m
+}
+
+func parseF(t *testing.T, s string) float64 {
+	t.Helper()
+	f, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return f
+}
+
+// TestClusterRoutingArtifact is the acceptance check for the fleet
+// study: the model-aware weighted policy must beat blind round-robin on
+// the bandwidth-sensitive tenant's p99 and on the fairness index —
+// a routing-policy-dependent difference on mixed memory tiers.
+func TestClusterRoutingArtifact(t *testing.T) {
+	a, err := testSuite().ClusterRouting(bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ID != "cluster-routing" || len(a.Tables) != 1 || len(a.Charts) != 1 {
+		t.Fatalf("artifact shape: %s / %d tables / %d charts", a.ID, len(a.Tables), len(a.Charts))
+	}
+	rows := a.Tables[0].Rows()
+	if len(rows) != 9 {
+		t.Fatalf("rows = %d, want 3 policies x 3 tenants", len(rows))
+	}
+	m := clusterRowMap(t, rows)
+
+	// p99 column is index 4, fairness index 7.
+	hpcRR := parseF(t, m["round-robin/HPC"][4])
+	hpcWS := parseF(t, m["weighted/HPC"][4])
+	if hpcWS >= hpcRR {
+		t.Errorf("HPC p99: weighted %.1fms !< round-robin %.1fms", hpcWS, hpcRR)
+	}
+	fairRR := parseF(t, m["round-robin/HPC"][7])
+	fairWS := parseF(t, m["weighted/HPC"][7])
+	if fairWS <= fairRR {
+		t.Errorf("fairness: weighted %.4f !> round-robin %.4f", fairWS, fairRR)
+	}
+	// Nothing sheds without admission control.
+	for key, r := range m {
+		if r[6] != "0%" {
+			t.Errorf("%s: shed %s without admission control", key, r[6])
+		}
+	}
+}
+
+// TestClusterAdmissionArtifact checks the load sweep: shedding engages
+// once offered load exceeds the fleet quota and grows monotonically in
+// the multiplier.
+func TestClusterAdmissionArtifact(t *testing.T) {
+	a, err := testSuite().ClusterAdmission(bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ID != "cluster-admission" || len(a.Tables) != 1 || len(a.Charts) != 1 {
+		t.Fatalf("artifact shape: %s / %d tables / %d charts", a.ID, len(a.Tables), len(a.Charts))
+	}
+	rows := a.Tables[0].Rows()
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5 load multipliers", len(rows))
+	}
+	var prev float64 = -1
+	for _, r := range rows {
+		shed := parseF(t, r[3])
+		if shed < prev {
+			t.Errorf("shed rate fell from %.0f%% to %.0f%% at %s", prev, shed, r[0])
+		}
+		prev = shed
+	}
+	first, last := parseF(t, rows[0][3]), parseF(t, rows[len(rows)-1][3])
+	if last <= first || last == 0 {
+		t.Errorf("shed rate did not climb with load: %.0f%% -> %.0f%%", first, last)
+	}
+}

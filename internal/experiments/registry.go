@@ -97,6 +97,8 @@ func (s *Suite) Registry() *engine.Registry {
 	add("queue-ablation", "Measured composite vs analytic queuing curves", "DESIGN.md §5", curve, s.QueueCurveAblation)
 	add("grades-hpc", "Measured machine across DDR grades (bwaves)", "supplementary", nil,
 		func(ctx context.Context) (Artifact, error) { return s.GradeSweep(ctx, "bwaves") })
+	add("cluster-routing", "Fleet routing policies on a mixed DRAM/HBM/CXL fleet", "fleet extension", nil, s.ClusterRouting)
+	add("cluster-admission", "Fleet token-bucket admission under load", "fleet extension", nil, s.ClusterAdmission)
 
 	return r
 }

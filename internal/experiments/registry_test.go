@@ -16,15 +16,16 @@ func TestRegistryCatalog(t *testing.T) {
 		t.Fatal(err)
 	}
 	ids := reg.IDs()
-	if len(ids) != 28 {
-		t.Fatalf("registry has %d experiments, want 28", len(ids))
+	if len(ids) != 30 {
+		t.Fatalf("registry has %d experiments, want 30", len(ids))
 	}
 	// The catalog starts with Fig. 1 and covers the supplementary sweep.
 	if ids[0] != "fig1" {
 		t.Fatalf("first id = %s", ids[0])
 	}
 	want := map[string]bool{"fig7": true, "table7": true, "grades-hpc": true, "efficiency": true,
-		"die-stacked": true, "cxl-far-memory": true, "sustained-bw": true}
+		"die-stacked": true, "cxl-far-memory": true, "sustained-bw": true,
+		"cluster-routing": true, "cluster-admission": true}
 	for _, id := range ids {
 		delete(want, id)
 	}
@@ -126,7 +127,7 @@ func TestGoldenManifestNoDrift(t *testing.T) {
 	// calibration, and manifest determinism.
 	var ids []string
 	if raceEnabled {
-		ids = []string{"fig1", "fig7", "fig8", "table3", "efficiency"}
+		ids = []string{"fig1", "fig7", "fig8", "table3", "efficiency", "cluster-routing"}
 	}
 	a := runQuickManifest(t, ids, 4)
 	b := runQuickManifest(t, ids, 2)

@@ -1,0 +1,303 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/model"
+	"repro/internal/units"
+)
+
+// Caps on fleet simulations so one request cannot monopolize the
+// daemon: the host/tenant counts bound the pricing matrix, the
+// duration and expected-arrival caps bound the event loop.
+const (
+	maxClusterHosts    = 64
+	maxClusterTenants  = 16
+	maxClusterDuration = 120.0 // simulated seconds
+	maxClusterArrivals = 2_000_000
+)
+
+// ClusterHostSpec is one host shape of a fleet request; Count stamps
+// out replicas sharing the topology and admission knobs.
+type ClusterHostSpec struct {
+	Name string `json:"name,omitempty"`
+	// Count replicates this host; 0 means 1.
+	Count    int          `json:"count,omitempty"`
+	Topology TopologySpec `json:"topology"`
+	// Slots is the concurrent service capacity; 0 means the topology's
+	// hardware thread count.
+	Slots int `json:"slots,omitempty"`
+	// AdmitRate/AdmitBurst shape the host's token bucket; rate 0
+	// disables admission control.
+	AdmitRate  float64 `json:"admit_rate,omitempty"`
+	AdmitBurst float64 `json:"admit_burst,omitempty"`
+}
+
+// ClusterTenantSpec is one workload class offering load to the fleet.
+type ClusterTenantSpec struct {
+	Name   string     `json:"name,omitempty"`
+	Params ParamsSpec `json:"params"`
+	// RateRPS is the offered Poisson rate in requests/second.
+	RateRPS float64 `json:"rate_rps"`
+	// WorkInstr is the request size in instructions; 0 means the
+	// reference 5e7.
+	WorkInstr float64 `json:"work_instr,omitempty"`
+}
+
+// ClusterRequest is the body of POST /v1/cluster/simulate. Empty hosts
+// and tenants default to the reference 8-host DRAM/HBM/CXL fleet under
+// the three Table 6 classes, so `{}` is a complete request.
+type ClusterRequest struct {
+	Hosts   []ClusterHostSpec   `json:"hosts,omitempty"`
+	Tenants []ClusterTenantSpec `json:"tenants,omitempty"`
+	// Policies are the routing policies to race ("round-robin",
+	// "least-loaded", "weighted"); empty means all three.
+	Policies []string `json:"policies,omitempty"`
+	// DurationS is the arrival horizon in simulated seconds; 0 means 4.
+	DurationS float64 `json:"duration_s,omitempty"`
+	// WarmupS discards early arrivals from the metrics; 0 means
+	// DurationS/8.
+	WarmupS float64 `json:"warmup_s,omitempty"`
+	// Seed derives every arrival stream; 0 is remapped like trace.NewRNG.
+	Seed uint64 `json:"seed,omitempty"`
+	// RateScale multiplies every tenant rate (load sweeps); 0 means 1.
+	RateScale float64 `json:"rate_scale,omitempty"`
+}
+
+// ClusterTenantBody is one tenant's SLO metrics in a reply.
+type ClusterTenantBody struct {
+	Name       string  `json:"name"`
+	Offered    int64   `json:"offered"`
+	Completed  int64   `json:"completed"`
+	Shed       int64   `json:"shed"`
+	OfferedRPS float64 `json:"offered_rps"`
+	GoodputRPS float64 `json:"goodput_rps"`
+	ShedRate   float64 `json:"shed_rate"`
+	P50MS      float64 `json:"p50_ms"`
+	P95MS      float64 `json:"p95_ms"`
+	P99MS      float64 `json:"p99_ms"`
+	MeanMS     float64 `json:"mean_ms"`
+}
+
+// ClusterHostBody is one host's serving counters in a reply.
+type ClusterHostBody struct {
+	Name        string  `json:"name"`
+	Completions int64   `json:"completions"`
+	Shed        int64   `json:"shed"`
+	Utilization float64 `json:"utilization"`
+	PeakQueue   int     `json:"peak_queue"`
+}
+
+// ClusterPolicyBody is one policy's simulation outcome.
+type ClusterPolicyBody struct {
+	Policy string `json:"policy"`
+	// EventHash witnesses the deterministic event order (hex FNV-64a);
+	// replaying the same request must reproduce it bit-exactly.
+	Events    int64               `json:"events"`
+	EventHash string              `json:"event_hash"`
+	Fairness  float64             `json:"fairness"`
+	Tenants   []ClusterTenantBody `json:"tenants"`
+	Hosts     []ClusterHostBody   `json:"hosts"`
+}
+
+// ClusterResponse is the body of a /v1/cluster/simulate reply.
+type ClusterResponse struct {
+	DurationS float64             `json:"duration_s"`
+	WarmupS   float64             `json:"warmup_s"`
+	Seed      uint64              `json:"seed"`
+	Policies  []ClusterPolicyBody `json:"policies"`
+	Solver    SolverBody          `json:"solver"`
+	Cached    bool                `json:"cached"`
+}
+
+// clusterSpec materializes the request into the base cluster.Spec
+// (policy left to the caller) plus the parsed policy list.
+func (req ClusterRequest) clusterSpec() (cluster.Spec, []cluster.Policy, error) {
+	duration := req.DurationS
+	if duration == 0 {
+		duration = 4
+	}
+	if duration < 0 || duration > maxClusterDuration {
+		return cluster.Spec{}, nil, fmt.Errorf("%w: duration_s must be in (0,%g]",
+			model.ErrInvalidPlatform, maxClusterDuration)
+	}
+	warmup := req.WarmupS
+	if warmup == 0 {
+		warmup = duration / 8
+	}
+	scale := req.RateScale
+	if scale == 0 {
+		scale = 1
+	}
+	if scale < 0 {
+		return cluster.Spec{}, nil, fmt.Errorf("%w: rate_scale must be positive", model.ErrInvalidPlatform)
+	}
+
+	spec := cluster.Spec{
+		Duration: units.Duration(duration * 1e9),
+		Warmup:   units.Duration(warmup * 1e9),
+		Seed:     req.Seed,
+	}
+	if len(req.Hosts) == 0 {
+		spec.Hosts = cluster.DefaultFleet()
+	} else {
+		for i, hs := range req.Hosts {
+			count := hs.Count
+			if count == 0 {
+				count = 1
+			}
+			if count < 0 || len(spec.Hosts)+count > maxClusterHosts {
+				return cluster.Spec{}, nil, fmt.Errorf("%w: at most %d hosts per fleet",
+					model.ErrInvalidPlatform, maxClusterHosts)
+			}
+			top, err := hs.Topology.Topology()
+			if err != nil {
+				return cluster.Spec{}, nil, fmt.Errorf("host %d: %w", i, err)
+			}
+			name := hs.Name
+			if name == "" {
+				name = fmt.Sprintf("host%d", i)
+			}
+			for r := 0; r < count; r++ {
+				h := cluster.HostSpec{
+					Name:       name,
+					Topology:   top,
+					Slots:      hs.Slots,
+					AdmitRate:  hs.AdmitRate,
+					AdmitBurst: hs.AdmitBurst,
+				}
+				if count > 1 {
+					h.Name = fmt.Sprintf("%s-%d", name, r)
+				}
+				spec.Hosts = append(spec.Hosts, h)
+			}
+		}
+	}
+	if len(req.Tenants) == 0 {
+		spec.Tenants = cluster.DefaultTenants()
+	} else {
+		if len(req.Tenants) > maxClusterTenants {
+			return cluster.Spec{}, nil, fmt.Errorf("%w: at most %d tenants per fleet",
+				model.ErrInvalidParams, maxClusterTenants)
+		}
+		for i, ts := range req.Tenants {
+			p, err := ts.Params.Params()
+			if err != nil {
+				return cluster.Spec{}, nil, fmt.Errorf("tenant %d: %w", i, err)
+			}
+			name := ts.Name
+			if name == "" {
+				name = p.Name
+			}
+			work := ts.WorkInstr
+			if work == 0 {
+				work = cluster.DefaultWork
+			}
+			spec.Tenants = append(spec.Tenants, cluster.TenantSpec{
+				Name: name, Params: p, Rate: ts.RateRPS, Work: work,
+			})
+		}
+	}
+	var expected float64
+	for i := range spec.Tenants {
+		spec.Tenants[i].Rate *= scale
+		expected += spec.Tenants[i].Rate * duration
+	}
+	if expected > maxClusterArrivals {
+		return cluster.Spec{}, nil, fmt.Errorf("%w: expected arrivals %.0f exceed the %d cap (shrink rates or duration)",
+			model.ErrInvalidPlatform, expected, maxClusterArrivals)
+	}
+
+	var policies []cluster.Policy
+	if len(req.Policies) == 0 {
+		policies = cluster.Policies()
+	} else {
+		for _, s := range req.Policies {
+			p, err := cluster.ParsePolicy(s)
+			if err != nil {
+				return cluster.Spec{}, nil, err
+			}
+			policies = append(policies, p)
+		}
+	}
+	if err := func() error { s := spec; s.Policy = policies[0]; return s.Validate() }(); err != nil {
+		return cluster.Spec{}, nil, err
+	}
+	return spec, policies, nil
+}
+
+func (s *Server) prepareCluster(dec *json.Decoder) (preparation, error) {
+	var req ClusterRequest
+	if err := dec.Decode(&req); err != nil {
+		return preparation{}, fmt.Errorf("decode: %w", err)
+	}
+	spec, policies, err := req.clusterSpec()
+	if err != nil {
+		return preparation{}, err
+	}
+	keyParts := []string{"cluster"}
+	for _, p := range policies {
+		sp := spec
+		sp.Policy = p
+		keyParts = append(keyParts, cluster.CanonicalSpec(sp))
+	}
+	return preparation{
+		key: model.ScenarioKey(keyParts...),
+		run: func(ctx context.Context) (any, error) {
+			ctx, agg := s.record(ctx)
+			resp := ClusterResponse{
+				DurationS: spec.Duration.Seconds(),
+				WarmupS:   spec.Warmup.Seconds(),
+				Seed:      spec.Seed,
+			}
+			for _, p := range policies {
+				sp := spec
+				sp.Policy = p
+				res, err := cluster.Simulate(ctx, sp)
+				if err != nil {
+					return nil, err
+				}
+				resp.Policies = append(resp.Policies, policyBody(res))
+			}
+			resp.Solver = solverBody(agg.Stats())
+			return resp, nil
+		},
+	}, nil
+}
+
+func policyBody(res cluster.Result) ClusterPolicyBody {
+	body := ClusterPolicyBody{
+		Policy:    res.Policy.String(),
+		Events:    res.Events,
+		EventHash: fmt.Sprintf("%016x", res.EventHash),
+		Fairness:  res.Fairness,
+	}
+	for _, tm := range res.Tenants {
+		body.Tenants = append(body.Tenants, ClusterTenantBody{
+			Name:       tm.Name,
+			Offered:    tm.Offered,
+			Completed:  tm.Completed,
+			Shed:       tm.Shed,
+			OfferedRPS: tm.OfferedRPS,
+			GoodputRPS: tm.GoodputRPS,
+			ShedRate:   tm.ShedRate,
+			P50MS:      tm.P50.Nanoseconds() / 1e6,
+			P95MS:      tm.P95.Nanoseconds() / 1e6,
+			P99MS:      tm.P99.Nanoseconds() / 1e6,
+			MeanMS:     tm.Mean.Nanoseconds() / 1e6,
+		})
+	}
+	for _, hm := range res.Hosts {
+		body.Hosts = append(body.Hosts, ClusterHostBody{
+			Name:        hm.Name,
+			Completions: hm.Completions,
+			Shed:        hm.Shed,
+			Utilization: hm.Utilization,
+			PeakQueue:   hm.PeakQueue,
+		})
+	}
+	return body
+}

@@ -1,0 +1,145 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// clusterBody keeps the endpoint tests fast: the default fleet and
+// tenants, a short horizon, and a single policy.
+const clusterBody = `{"duration_s":1,"policies":["weighted"],"seed":7}`
+
+func TestClusterEndpointBasic(t *testing.T) {
+	h := New().Handler()
+	status, blob, _ := doJSON(t, h, http.MethodPost, "/v1/cluster/simulate", clusterBody)
+	if status != http.StatusOK {
+		t.Fatalf("POST /v1/cluster/simulate = %d: %s", status, blob)
+	}
+	var resp ClusterResponse
+	if err := json.Unmarshal(blob, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Policies) != 1 || resp.Policies[0].Policy != "weighted" {
+		t.Fatalf("unexpected policies: %s", blob)
+	}
+	pol := resp.Policies[0]
+	if len(pol.Tenants) != 3 || len(pol.Hosts) != 8 {
+		t.Errorf("default fleet shape: %d tenants / %d hosts", len(pol.Tenants), len(pol.Hosts))
+	}
+	if pol.Events <= 0 || len(pol.EventHash) != 16 {
+		t.Errorf("event witness missing: events=%d hash=%q", pol.Events, pol.EventHash)
+	}
+	if pol.Fairness <= 0 || pol.Fairness > 1 {
+		t.Errorf("fairness out of range: %v", pol.Fairness)
+	}
+	for _, tm := range pol.Tenants {
+		if tm.Completed <= 0 || tm.P99MS < tm.P50MS {
+			t.Errorf("%s: implausible metrics: %+v", tm.Name, tm)
+		}
+	}
+	if resp.Cached {
+		t.Error("first request must not be marked cached")
+	}
+
+	// Replay: bit-identical event order, served from cache.
+	_, blob2, _ := doJSON(t, h, http.MethodPost, "/v1/cluster/simulate", clusterBody)
+	var again ClusterResponse
+	if err := json.Unmarshal(blob2, &again); err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached {
+		t.Error("repeat request should be served from cache")
+	}
+	if again.Policies[0].EventHash != pol.EventHash {
+		t.Errorf("event hash drifted: %s vs %s", again.Policies[0].EventHash, pol.EventHash)
+	}
+}
+
+// TestClusterEndpointDefaults: `{}` is a complete request — reference
+// fleet, all three policies raced.
+func TestClusterEndpointDefaults(t *testing.T) {
+	h := New().Handler()
+	status, blob, _ := doJSON(t, h, http.MethodPost, "/v1/cluster/simulate", `{"duration_s":0.5}`)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d: %s", status, blob)
+	}
+	var resp ClusterResponse
+	if err := json.Unmarshal(blob, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Policies) != 3 {
+		t.Fatalf("want all three policies by default, got %d", len(resp.Policies))
+	}
+	if resp.WarmupS != 0.5/8 {
+		t.Errorf("warmup default = %v, want duration/8", resp.WarmupS)
+	}
+	seen := map[string]bool{}
+	for _, p := range resp.Policies {
+		seen[p.Policy] = true
+	}
+	for _, want := range []string{"round-robin", "least-loaded", "weighted"} {
+		if !seen[want] {
+			t.Errorf("missing policy %q in %s", want, blob)
+		}
+	}
+}
+
+// TestClusterEndpointCustomFleet exercises the count-replication and
+// explicit tenant path.
+func TestClusterEndpointCustomFleet(t *testing.T) {
+	h := New().Handler()
+	body := `{"duration_s":1,"policies":["rr"],
+		"hosts":[{"name":"dram","count":2,"topology":{"tiers":[
+			{"name":"dram","share":1,"compulsory_ns":75,"peak_gbps":42}]}}],
+		"tenants":[{"params":{"class":"bigdata"},"rate_rps":200}]}`
+	status, blob, _ := doJSON(t, h, http.MethodPost, "/v1/cluster/simulate", body)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d: %s", status, blob)
+	}
+	var resp ClusterResponse
+	if err := json.Unmarshal(blob, &resp); err != nil {
+		t.Fatal(err)
+	}
+	pol := resp.Policies[0]
+	if len(pol.Hosts) != 2 || pol.Hosts[0].Name != "dram-0" || pol.Hosts[1].Name != "dram-1" {
+		t.Errorf("replication names: %s", blob)
+	}
+	if len(pol.Tenants) != 1 || pol.Tenants[0].Name != "Big Data" {
+		t.Errorf("tenant should default its name from the class: %s", blob)
+	}
+}
+
+func TestClusterEndpointRejectsBadBodies(t *testing.T) {
+	h := New().Handler()
+	cases := []struct {
+		name, body, want string
+	}{
+		{"bad policy", `{"policies":["random"]}`, "unknown routing policy"},
+		{"too long", `{"duration_s":600}`, "duration_s"},
+		{"too many arrivals", `{"duration_s":100,"rate_scale":50}`, "expected arrivals"},
+		{"bad tenant rate", `{"tenants":[{"params":{"class":"hpc"},"rate_rps":-1}]}`, "rate"},
+		{"bad topology", `{"hosts":[{"topology":{"tiers":[{"share":0.5,"compulsory_ns":75,"peak_gbps":42}]}}]}`, "sum"},
+	}
+	for _, tc := range cases {
+		status, blob, _ := doJSON(t, h, http.MethodPost, "/v1/cluster/simulate", tc.body)
+		if status != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400: %s", tc.name, status, blob)
+		}
+		if !strings.Contains(string(blob), tc.want) {
+			t.Errorf("%s: error %s should mention %q", tc.name, blob, tc.want)
+		}
+	}
+}
+
+// TestClusterMetricsLabel: the endpoint shows up in /metrics alongside
+// the evaluators.
+func TestClusterMetricsLabel(t *testing.T) {
+	h := New().Handler()
+	doJSON(t, h, http.MethodPost, "/v1/cluster/simulate", clusterBody)
+	_, blob, _ := doJSON(t, h, http.MethodGet, "/metrics", "")
+	if !strings.Contains(string(blob), `endpoint="cluster"`) {
+		t.Errorf("/metrics missing cluster endpoint label:\n%s", blob)
+	}
+}

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/model"
 	"repro/internal/solve"
+	"repro/internal/version"
 )
 
 // endpoint names, also the /metrics labels.
@@ -19,6 +20,7 @@ const (
 	epNUMA     = "numa"
 	epTopology = "topology"
 	epSweep    = "sweep"
+	epCluster  = "cluster"
 )
 
 // maxBodyBytes bounds request bodies; a measured curve with thousands
@@ -64,7 +66,7 @@ func New(opts ...Option) *Server {
 		cfg:     cfg,
 		cache:   NewCache(cfg.cacheSize),
 		adm:     NewAdmission(cfg.maxConcurrent, cfg.maxQueue),
-		metrics: newMetrics([]string{epEvaluate, epTiered, epNUMA, epTopology, epSweep}),
+		metrics: newMetrics([]string{epEvaluate, epTiered, epNUMA, epTopology, epSweep, epCluster}),
 		faults:  newFaultInjector(cfg.faults),
 		clock:   cfg.clock,
 	}
@@ -78,6 +80,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/evaluate/numa", s.post(epNUMA, s.prepareNUMA))
 	mux.HandleFunc("/v1/evaluate/topology", s.post(epTopology, s.prepareTopology))
 	mux.HandleFunc("/v1/sweep", s.post(epSweep, s.prepareSweep))
+	mux.HandleFunc("/v1/cluster/simulate", s.post(epCluster, s.prepareCluster))
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux
@@ -127,6 +130,7 @@ func (r TieredResponse) markCached() any   { r.Cached = true; return r }
 func (r NUMAResponse) markCached() any     { r.Cached = true; return r }
 func (r TopologyResponse) markCached() any { r.Cached = true; return r }
 func (r SweepResponse) markCached() any    { r.Cached = true; return r }
+func (r ClusterResponse) markCached() any  { r.Cached = true; return r }
 
 // post wraps one endpoint: fault injection (when armed), method check,
 // bounded decode, admission, per-request deadline, cached evaluation,
@@ -494,6 +498,7 @@ func sweepResponse(axis string, sw model.Sweep, st solve.Stats) SweepResponse {
 // healthBody is the /healthz reply.
 type healthBody struct {
 	Status        string  `json:"status"`
+	Version       string  `json:"version"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	InFlight      int64   `json:"inflight"`
 }
@@ -505,6 +510,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	body := healthBody{
 		Status:        "ok",
+		Version:       version.String(),
 		UptimeSeconds: time.Since(s.metrics.start).Seconds(),
 		InFlight:      s.adm.Stats().InFlight,
 	}

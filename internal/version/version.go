@@ -1,0 +1,42 @@
+// Package version reports build identity — module version and Go
+// toolchain — from the information the linker already embeds, so the
+// daemon, the CLI, and /healthz agree without a ldflags stamping step.
+package version
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// String returns a one-line build identity: "repro <version> (<go>)".
+// A stamped module version (release tag or pseudo-version) is used
+// as-is — it already encodes the revision; only an unstamped "devel"
+// build falls back to the embedded VCS revision and dirty marker.
+func String() string {
+	v := "devel"
+	var rev, dirty string
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+			return fmt.Sprintf("repro %s (%s)", bi.Main.Version, runtime.Version())
+		}
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				if len(s.Value) >= 12 {
+					rev = s.Value[:12]
+				} else {
+					rev = s.Value
+				}
+			case "vcs.modified":
+				if s.Value == "true" {
+					dirty = ":dirty"
+				}
+			}
+		}
+	}
+	if rev != "" {
+		v += "+" + rev + dirty
+	}
+	return fmt.Sprintf("repro %s (%s)", v, runtime.Version())
+}

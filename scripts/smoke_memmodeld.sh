@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # End-to-end smoke of the memmodeld daemon: build it, start it, check
-# /healthz, run one /v1/evaluate, confirm the cache counter moved, then
-# SIGTERM and assert the graceful drain exits cleanly (code 0).
+# /healthz, run one /v1/evaluate, one /v1/evaluate/topology, and one
+# /v1/cluster/simulate, confirm the cache counter moved, then SIGTERM
+# and assert the graceful drain exits cleanly (code 0).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -56,9 +57,18 @@ grep -q '"cpi"' <<<"$topo_body" || { echo "topology reply missing cpi: $topo_bod
 grep -q '"policy": *"fractions"' <<<"$topo_body" \
   || { echo "topology reply missing policy: $topo_body"; exit 1; }
 
-echo "== check /metrics counted both solves"
+echo "== POST /v1/cluster/simulate (reference fleet, one policy)"
+cluster_body="$(curl -fsS -X POST "$BASE/v1/cluster/simulate" \
+  -H 'Content-Type: application/json' \
+  -d '{"duration_s":1,"policies":["weighted"]}')"
+grep -q '"event_hash"' <<<"$cluster_body" \
+  || { echo "cluster reply missing event_hash: $cluster_body"; exit 1; }
+grep -q '"policy": *"weighted"' <<<"$cluster_body" \
+  || { echo "cluster reply missing policy: $cluster_body"; exit 1; }
+
+echo "== check /metrics counted all three solves"
 metrics="$(curl -fsS "$BASE/metrics")"
-grep -q '^memmodeld_cache_misses_total 2$' <<<"$metrics" \
+grep -q '^memmodeld_cache_misses_total 3$' <<<"$metrics" \
   || { echo "metrics missing the cold solves:"; grep memmodeld_cache <<<"$metrics" || true; exit 1; }
 
 echo "== SIGTERM and wait for graceful drain"

@@ -2,8 +2,8 @@
 # Full verification: vet, build, the tier-1 test suite, and the race
 # detector over the concurrency-bearing packages (the simulator's event
 # loop under the parallel fit grids, the engine scheduler, the
-# experiment suite's shared caches and measurement cache, the memmodeld
-# service layer, and the resilient client SDK).
+# experiment suite's shared caches and measurement cache, the fleet
+# simulator, the memmodeld service layer, and the resilient client SDK).
 #
 # The race pass shrinks the golden-manifest drift test's scope via the
 # `race` build tag (see internal/experiments/race_on_test.go) — the
@@ -20,7 +20,7 @@ go build ./...
 echo "== go test (tier 1)"
 go test ./...
 
-echo "== go test -race (sim + engine + experiments + simcache + serve + client)"
-go test -race -timeout 30m ./internal/sim/ ./internal/engine/ ./internal/experiments/ ./internal/simcache/ ./internal/serve/ ./client/
+echo "== go test -race (sim + cluster + engine + experiments + simcache + serve + client)"
+go test -race -timeout 30m ./internal/sim/ ./internal/cluster/ ./internal/engine/ ./internal/experiments/ ./internal/simcache/ ./internal/serve/ ./client/
 
 echo "verify: OK"
