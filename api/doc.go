@@ -1,0 +1,13 @@
+// Package api holds the public wire types of the memmodeld HTTP API:
+// the request and response JSON bodies of every /v1 endpoint, the
+// unified error envelope, and the workload-generation spec. Both the
+// service layer (internal/serve) and the SDK (client) import this
+// package, so a request a client builds is byte-for-byte the struct
+// the daemon decodes and the two can never drift apart.
+//
+// Spec types carry their materialization methods (Curve, Params,
+// Platform, Topology): validation and baseline defaulting live next to
+// the wire form, and errors wrap the model layer's
+// ErrInvalidParams/ErrInvalidPlatform sentinels so transports can map
+// them onto 400s uniformly.
+package api

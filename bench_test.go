@@ -13,6 +13,7 @@ import (
 	"os"
 	"testing"
 
+	"repro/api"
 	"repro/internal/cache"
 	"repro/internal/cluster"
 	"repro/internal/experiments"
@@ -23,6 +24,7 @@ import (
 	"repro/internal/simcache"
 	"repro/internal/trace"
 	"repro/internal/units"
+	"repro/internal/workgen"
 	"repro/internal/workloads"
 )
 
@@ -301,6 +303,27 @@ func BenchmarkMLCSweepPoint(b *testing.B) {
 // BenchmarkFutureMemory evaluates the §VII future-memory designs.
 func BenchmarkFutureMemory(b *testing.B) {
 	runArtifact(b, (*experiments.Suite).FutureMemory)
+}
+
+// BenchmarkWorkgenTrace generates and hashes the reference three-client
+// workload's arrival schedule at a CI-sized horizon: the seeded renewal
+// sampling (Poisson, Gamma, Weibull inter-arrivals), the per-client
+// stream merge, and the FNV determinism witness.
+func BenchmarkWorkgenTrace(b *testing.B) {
+	spec, err := workgen.Compile(api.WorkloadSpec{TotalRPS: 2000, DurationS: 30, Seed: 42})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var arrivals int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := spec.Trace()
+		if tr.Hash == 0 {
+			b.Fatal("degenerate trace hash")
+		}
+		arrivals = len(tr.Arrivals)
+	}
+	b.ReportMetric(float64(arrivals)*float64(b.N)/b.Elapsed().Seconds(), "arrivals/s")
 }
 
 // BenchmarkClusterSimulate runs the reference 8-host fleet under the

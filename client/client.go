@@ -41,7 +41,7 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/serve"
+	"repro/api"
 )
 
 // Clock abstracts time for deterministic tests: Now feeds the breaker
@@ -266,6 +266,19 @@ func (c *Client) ClusterSimulate(ctx context.Context, req ClusterRequest) (*Clus
 	return &resp, nil
 }
 
+// WorkloadValidate dry-runs a workload spec (POST /v1/workload/validate):
+// the daemon compiles the spec, reports the deterministic trace identity
+// (arrival count and hash), and predicts the KPIs the workload would
+// observe — without any traffic being generated. An empty spec validates
+// the reference three-client mix.
+func (c *Client) WorkloadValidate(ctx context.Context, req WorkloadValidateRequest) (*WorkloadValidateResponse, error) {
+	var resp WorkloadValidateResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/workload/validate", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
 // Sweep runs a latency or bandwidth grid (POST /v1/sweep).
 func (c *Client) Sweep(ctx context.Context, req SweepRequest) (*SweepResponse, error) {
 	var resp SweepResponse
@@ -426,7 +439,7 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 		Code:       fmt.Sprintf("http_%d", res.StatusCode),
 		RetryAfter: parseRetryAfter(res.Header.Get("Retry-After"), c.cfg.clock.Now()),
 	}
-	var eb serve.ErrorBody
+	var eb api.ErrorBody
 	if json.Unmarshal(blob, &eb) == nil && eb.Error.Code != "" {
 		apiErr.Code = eb.Error.Code
 		apiErr.Message = eb.Error.Message

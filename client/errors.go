@@ -43,6 +43,14 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("memmodeld: %d %s: %s", e.Status, e.Code, e.Message)
 }
 
+// HTTPStatus returns the response status code. Together with ErrorCode
+// it lets packages classify API failures structurally (via an interface
+// and errors.As) without importing this package.
+func (e *APIError) HTTPStatus() int { return e.Status }
+
+// ErrorCode returns the wire error code from the daemon's envelope.
+func (e *APIError) ErrorCode() string { return e.Code }
+
 // Temporary reports whether the failure is worth retrying: overload
 // shedding (429), and the 5xx family a proxy or chaos middleware can
 // inject (500, 502, 503, 504). Validation failures (4xx) and semantic

@@ -56,6 +56,26 @@ func (c *Client) Stats() Stats {
 	}
 }
 
+// ResetStats atomically swaps every counter to zero and returns the
+// snapshot that was accumulated before the reset. Use it to scope
+// telemetry to one run when a single client outlives several (soak
+// iterations, load-generation phases): counters started fresh, the
+// prior run's totals preserved. Each counter is swapped individually,
+// so a concurrent request may land split across the returned snapshot
+// and the fresh window — each event still counts exactly once.
+func (c *Client) ResetStats() Stats {
+	return Stats{
+		Attempts:          c.stats.attempts.Swap(0),
+		Retries:           c.stats.retries.Swap(0),
+		Successes:         c.stats.successes.Swap(0),
+		Failures:          c.stats.failures.Swap(0),
+		CircuitFastFails:  c.stats.fastFails.Swap(0),
+		RetryAfterHonored: c.stats.retryAfterHonored.Swap(0),
+		BreakerOpens:      c.stats.breakerOpens.Swap(0),
+		BackoffTotal:      time.Duration(c.stats.backoffNS.Swap(0)),
+	}
+}
+
 // WriteMetrics renders the client counters in Prometheus text
 // exposition format, mirroring the daemon's /metrics vocabulary so
 // both sides of a chaos run can be scraped the same way.

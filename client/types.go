@@ -1,74 +1,151 @@
 package client
 
-import "repro/internal/serve"
+import "repro/api"
 
-// The wire types are aliases of the service layer's, so requests a
-// client builds are byte-for-byte the structs the daemon decodes and
-// the two can never drift apart.
+// The wire types live in the public repro/api package, shared with the
+// service layer, so requests a client builds are byte-for-byte the
+// structs the daemon decodes and the two can never drift apart.
+//
+// The aliases below are kept for one release so existing code written
+// against client.X keeps compiling; new code should import repro/api
+// directly.
 type (
 	// CurveSpec selects a queuing curve ("mm1", "md1", "measured").
-	CurveSpec = serve.CurveSpec
+	//
+	// Deprecated: use api.CurveSpec.
+	CurveSpec = api.CurveSpec
 	// CurvePoint is one sample of a measured queuing curve.
-	CurvePoint = serve.CurvePoint
+	//
+	// Deprecated: use api.CurvePoint.
+	CurvePoint = api.CurvePoint
 	// ParamsSpec selects a workload: a Table 6 class or custom Eq. 1/4
 	// components.
-	ParamsSpec = serve.ParamsSpec
+	//
+	// Deprecated: use api.ParamsSpec.
+	ParamsSpec = api.ParamsSpec
 	// PlatformSpec describes a single-tier platform (zero fields take
 	// the paper's §VI.C.2 baseline).
-	PlatformSpec = serve.PlatformSpec
+	//
+	// Deprecated: use api.PlatformSpec.
+	PlatformSpec = api.PlatformSpec
 	// TierSpec is one level of a tiered memory system.
-	TierSpec = serve.TierSpec
+	//
+	// Deprecated: use api.TierSpec.
+	TierSpec = api.TierSpec
 	// TieredPlatformSpec describes an Eq. 5 multi-tier platform.
-	TieredPlatformSpec = serve.TieredPlatformSpec
+	//
+	// Deprecated: use api.TieredPlatformSpec.
+	TieredPlatformSpec = api.TieredPlatformSpec
 	// NUMAPlatformSpec describes a symmetric multi-socket platform.
-	NUMAPlatformSpec = serve.NUMAPlatformSpec
+	//
+	// Deprecated: use api.NUMAPlatformSpec.
+	NUMAPlatformSpec = api.NUMAPlatformSpec
 	// TopologyTierSpec is one memory tier of an N-tier topology.
-	TopologyTierSpec = serve.TopologyTierSpec
+	//
+	// Deprecated: use api.TopologyTierSpec.
+	TopologyTierSpec = api.TopologyTierSpec
 	// TopologySpec describes an N-tier memory topology (fractions,
 	// interleave, or local-remote traffic split).
-	TopologySpec = serve.TopologySpec
+	//
+	// Deprecated: use api.TopologySpec.
+	TopologySpec = api.TopologySpec
 	// BandwidthVariantSpec is one platform variant of a bandwidth sweep.
-	BandwidthVariantSpec = serve.BandwidthVariantSpec
+	//
+	// Deprecated: use api.BandwidthVariantSpec.
+	BandwidthVariantSpec = api.BandwidthVariantSpec
 
 	// EvaluateRequest is the body of POST /v1/evaluate.
-	EvaluateRequest = serve.EvaluateRequest
+	//
+	// Deprecated: use api.EvaluateRequest.
+	EvaluateRequest = api.EvaluateRequest
 	// TieredRequest is the body of POST /v1/evaluate/tiered.
-	TieredRequest = serve.TieredRequest
+	//
+	// Deprecated: use api.TieredRequest.
+	TieredRequest = api.TieredRequest
 	// NUMARequest is the body of POST /v1/evaluate/numa.
-	NUMARequest = serve.NUMARequest
+	//
+	// Deprecated: use api.NUMARequest.
+	NUMARequest = api.NUMARequest
 	// TopologyRequest is the body of POST /v1/evaluate/topology.
-	TopologyRequest = serve.TopologyRequest
+	//
+	// Deprecated: use api.TopologyRequest.
+	TopologyRequest = api.TopologyRequest
 	// SweepRequest is the body of POST /v1/sweep.
-	SweepRequest = serve.SweepRequest
+	//
+	// Deprecated: use api.SweepRequest.
+	SweepRequest = api.SweepRequest
 	// ClusterHostSpec is one host shape of a fleet simulation.
-	ClusterHostSpec = serve.ClusterHostSpec
+	//
+	// Deprecated: use api.ClusterHostSpec.
+	ClusterHostSpec = api.ClusterHostSpec
 	// ClusterTenantSpec is one workload class offering load to a fleet.
-	ClusterTenantSpec = serve.ClusterTenantSpec
+	//
+	// Deprecated: use api.ClusterTenantSpec.
+	ClusterTenantSpec = api.ClusterTenantSpec
 	// ClusterRequest is the body of POST /v1/cluster/simulate.
-	ClusterRequest = serve.ClusterRequest
+	//
+	// Deprecated: use api.ClusterRequest.
+	ClusterRequest = api.ClusterRequest
+	// WorkloadSpec describes a seeded load-generation run.
+	//
+	// Deprecated: use api.WorkloadSpec.
+	WorkloadSpec = api.WorkloadSpec
+	// WorkloadValidateRequest is the body of POST /v1/workload/validate.
+	//
+	// Deprecated: use api.WorkloadValidateRequest.
+	WorkloadValidateRequest = api.WorkloadValidateRequest
 
 	// EvaluateResponse is the body of a /v1/evaluate reply.
-	EvaluateResponse = serve.EvaluateResponse
+	//
+	// Deprecated: use api.EvaluateResponse.
+	EvaluateResponse = api.EvaluateResponse
 	// TieredResponse is the body of a /v1/evaluate/tiered reply.
-	TieredResponse = serve.TieredResponse
+	//
+	// Deprecated: use api.TieredResponse.
+	TieredResponse = api.TieredResponse
 	// NUMAResponse is the body of a /v1/evaluate/numa reply.
-	NUMAResponse = serve.NUMAResponse
+	//
+	// Deprecated: use api.NUMAResponse.
+	NUMAResponse = api.NUMAResponse
 	// TopologyResponse is the body of a /v1/evaluate/topology reply.
-	TopologyResponse = serve.TopologyResponse
+	//
+	// Deprecated: use api.TopologyResponse.
+	TopologyResponse = api.TopologyResponse
 	// TopologyTierPointBody is one tier's share of a topology reply.
-	TopologyTierPointBody = serve.TopologyTierPointBody
+	//
+	// Deprecated: use api.TopologyTierPointBody.
+	TopologyTierPointBody = api.TopologyTierPointBody
 	// SweepResponse is the body of a /v1/sweep reply.
-	SweepResponse = serve.SweepResponse
+	//
+	// Deprecated: use api.SweepResponse.
+	SweepResponse = api.SweepResponse
 	// ClusterResponse is the body of a /v1/cluster/simulate reply.
-	ClusterResponse = serve.ClusterResponse
+	//
+	// Deprecated: use api.ClusterResponse.
+	ClusterResponse = api.ClusterResponse
 	// ClusterPolicyBody is one policy's fleet simulation outcome.
-	ClusterPolicyBody = serve.ClusterPolicyBody
+	//
+	// Deprecated: use api.ClusterPolicyBody.
+	ClusterPolicyBody = api.ClusterPolicyBody
 	// ClusterTenantBody is one tenant's SLO metrics in a fleet reply.
-	ClusterTenantBody = serve.ClusterTenantBody
+	//
+	// Deprecated: use api.ClusterTenantBody.
+	ClusterTenantBody = api.ClusterTenantBody
 	// ClusterHostBody is one host's serving counters in a fleet reply.
-	ClusterHostBody = serve.ClusterHostBody
+	//
+	// Deprecated: use api.ClusterHostBody.
+	ClusterHostBody = api.ClusterHostBody
 	// OperatingPointBody is the wire form of a solved operating point.
-	OperatingPointBody = serve.OperatingPointBody
+	//
+	// Deprecated: use api.OperatingPointBody.
+	OperatingPointBody = api.OperatingPointBody
 	// SolverBody echoes the solver telemetry behind a response.
-	SolverBody = serve.SolverBody
+	//
+	// Deprecated: use api.SolverBody.
+	SolverBody = api.SolverBody
+	// WorkloadValidateResponse is the body of a /v1/workload/validate
+	// reply.
+	//
+	// Deprecated: use api.WorkloadValidateResponse.
+	WorkloadValidateResponse = api.WorkloadValidateResponse
 )

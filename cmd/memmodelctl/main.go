@@ -1,202 +1,165 @@
 // Command memmodelctl drives a memmodeld daemon through the resilient
 // client SDK — the operational counterpart to cmd/memmodeld and the
-// workhorse of scripts/chaos_memmodeld.sh.
+// workhorse of scripts/chaos_memmodeld.sh and scripts/calibrate_smoke.sh.
 //
 // Usage:
 //
-//	memmodelctl [flags] health
-//	memmodelctl [flags] eval [-class bigdata] [-compulsory-ns N] [-peak-gbps N]
-//	memmodelctl [flags] soak [-n 200] [-workers 4] [-spread 8]
-//	memmodelctl [flags] cluster [-policies weighted,rr] [-duration 4] [-seed 42] [-rate-scale 1]
+//	memmodelctl <command> [flags]
 //	memmodelctl -version
 //
-// `cluster` runs the daemon-side fleet simulator over the reference
-// 8-host DRAM/HBM/CXL fleet and prints the per-policy SLO metrics as
-// JSON. -policies narrows the race (comma-separated; empty means all
-// three), -rate-scale multiplies every tenant's offered load for quick
-// saturation sweeps.
+// Commands:
 //
-// Global flags shape the reliability stack the SDK brings: -budget is
-// the overall per-call deadline, -max-attempts caps retries inside it,
-// -backoff-base/-backoff-cap bound the jittered exponential backoff,
-// -seed makes the jitter sequence reproducible, and -breaker arms the
-// circuit breaker (0 disables it — the right setting against a chaos
-// daemon, where faults are random rather than a dead backend).
+//	health    wait for the daemon to answer /healthz
+//	eval      evaluate one scenario and print the operating point
+//	soak      chaos acceptance: n evaluates, 100% eventual success
+//	cluster   race routing policies on the daemon's fleet simulator
+//	loadgen   seeded open-loop load generation + model calibration
+//	validate  dry-run a workload spec server-side (no traffic)
+//	version   print build identity
 //
-// `soak` pushes n evaluate requests through the client with bounded
-// parallelism, requires 100% eventual success, and prints the client's
-// retry counters in Prometheus text format. Exit status is non-zero if
-// any request exhausts its budget — which is exactly the chaos
-// acceptance check.
+// Every command shares one flag set: -server (alias -addr) for the
+// daemon base URL, -timeout (alias -budget) for the per-call deadline,
+// -json for compact machine-readable output, -seed for deterministic
+// jitter and workload streams, plus the SDK reliability knobs
+// (-attempt-timeout, -max-attempts, -backoff-base, -backoff-cap,
+// -breaker, -breaker-cooldown). Command-specific flags follow the
+// command: `memmodelctl soak -n 200`.
+//
+// Exit status: 0 on success, 1 on a runtime failure (a request
+// exhausted its budget, a calibration gate failed), 2 on a usage error.
 package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 	"time"
 
 	"repro/client"
 	"repro/internal/version"
 )
 
-func main() {
-	var (
-		showVersion = flag.Bool("version", false, "print build identity and exit")
+// shared is the flag surface every subcommand gets, parsed from the
+// flags after the command word.
+type shared struct {
+	server      string
+	timeout     time.Duration
+	jsonOut     bool
+	seed        int64
+	attemptTO   time.Duration
+	maxAttempts int
+	backoffBase time.Duration
+	backoffCap  time.Duration
+	breaker     int
+	cooldown    time.Duration
+}
 
-		addr        = flag.String("addr", "http://127.0.0.1:8080", "memmodeld base URL")
-		budget      = flag.Duration("budget", 30*time.Second, "overall per-call deadline budget")
-		attemptTO   = flag.Duration("attempt-timeout", 5*time.Second, "per-attempt timeout inside the budget")
-		maxAttempts = flag.Int("max-attempts", 10, "attempt cap per call, first try included")
-		backoffBase = flag.Duration("backoff-base", 20*time.Millisecond, "exponential backoff base")
-		backoffCap  = flag.Duration("backoff-cap", 2*time.Second, "exponential backoff cap")
-		seed        = flag.Int64("seed", 1, "jitter sequence seed")
-		breaker     = flag.Int("breaker", 0, "circuit-breaker threshold (consecutive failures); 0 disables")
-		cooldown    = flag.Duration("breaker-cooldown", 5*time.Second, "circuit-breaker open duration before the probe")
+// register installs the shared flags on a command's FlagSet; -addr and
+// -budget are kept as aliases of -server and -timeout for one release.
+func (sh *shared) register(fs *flag.FlagSet) {
+	fs.StringVar(&sh.server, "server", "http://127.0.0.1:8080", "memmodeld base URL")
+	fs.StringVar(&sh.server, "addr", "http://127.0.0.1:8080", "alias of -server (deprecated)")
+	fs.DurationVar(&sh.timeout, "timeout", 30*time.Second, "overall per-call deadline budget")
+	fs.DurationVar(&sh.timeout, "budget", 30*time.Second, "alias of -timeout (deprecated)")
+	fs.BoolVar(&sh.jsonOut, "json", false, "compact machine-readable JSON output")
+	fs.Int64Var(&sh.seed, "seed", 1, "deterministic seed for retry jitter and workload streams")
+	fs.DurationVar(&sh.attemptTO, "attempt-timeout", 5*time.Second, "per-attempt timeout inside the budget")
+	fs.IntVar(&sh.maxAttempts, "max-attempts", 10, "attempt cap per call, first try included")
+	fs.DurationVar(&sh.backoffBase, "backoff-base", 20*time.Millisecond, "exponential backoff base")
+	fs.DurationVar(&sh.backoffCap, "backoff-cap", 2*time.Second, "exponential backoff cap")
+	fs.IntVar(&sh.breaker, "breaker", 0, "circuit-breaker threshold (consecutive failures); 0 disables")
+	fs.DurationVar(&sh.cooldown, "breaker-cooldown", 5*time.Second, "circuit-breaker open duration before the probe")
+}
+
+// client builds the SDK client the shared flags describe.
+func (sh *shared) client() *client.Client {
+	return client.New(sh.server,
+		client.WithBudget(sh.timeout),
+		client.WithAttemptTimeout(sh.attemptTO),
+		client.WithMaxAttempts(sh.maxAttempts),
+		client.WithBackoff(sh.backoffBase, sh.backoffCap),
+		client.WithSeed(sh.seed),
+		client.WithBreaker(sh.breaker, sh.cooldown),
 	)
-	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: memmodelctl [flags] <health|eval|soak|cluster> [command flags]\n\nflags:\n")
-		flag.PrintDefaults()
+}
+
+// command is one memmodelctl subcommand. Adding a subcommand is one
+// constructor in the commands table: register command flags on fs,
+// return the run function. Shared flags and client construction are
+// handled by the dispatcher.
+type command struct {
+	name     string
+	synopsis string
+	setup    func(fs *flag.FlagSet) func(ctx context.Context, sh *shared) error
+}
+
+// commands is the dispatch table; order is the help order.
+func commands() []command {
+	return []command{
+		{"health", "wait for the daemon to answer /healthz", healthCmd},
+		{"eval", "evaluate one scenario and print the operating point", evalCmd},
+		{"soak", "chaos acceptance: n evaluates, 100% eventual success", soakCmd},
+		{"cluster", "race routing policies on the daemon's fleet simulator", clusterCmd},
+		{"loadgen", "seeded open-loop load generation + model calibration", loadgenCmd},
+		{"validate", "dry-run a workload spec server-side (no traffic)", validateCmd},
+		{"version", "print build identity", versionCmd},
 	}
-	flag.Parse()
-	if *showVersion {
+}
+
+func usage(out *os.File) {
+	fmt.Fprintf(out, "usage: memmodelctl <command> [flags]\n\ncommands:\n")
+	for _, c := range commands() {
+		fmt.Fprintf(out, "  %-10s %s\n", c.name, c.synopsis)
+	}
+	fmt.Fprintf(out, "\nrun `memmodelctl <command> -h` for the command's flags\n")
+}
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 0 {
+		usage(os.Stderr)
+		os.Exit(2)
+	}
+	switch args[0] {
+	case "-version", "--version":
 		fmt.Println(version.String())
 		return
+	case "-h", "--help", "-help", "help":
+		usage(os.Stdout)
+		return
 	}
-	if flag.NArg() < 1 {
-		flag.Usage()
-		os.Exit(2)
-	}
-
-	c := client.New(*addr,
-		client.WithBudget(*budget),
-		client.WithAttemptTimeout(*attemptTO),
-		client.WithMaxAttempts(*maxAttempts),
-		client.WithBackoff(*backoffBase, *backoffCap),
-		client.WithSeed(*seed),
-		client.WithBreaker(*breaker, *cooldown),
-	)
-
-	var err error
-	switch cmd := flag.Arg(0); cmd {
-	case "health":
-		err = runHealth(c)
-	case "eval":
-		err = runEval(c, flag.Args()[1:])
-	case "soak":
-		err = runSoak(c, flag.Args()[1:])
-	case "cluster":
-		err = runCluster(c, flag.Args()[1:])
-	default:
-		fmt.Fprintf(os.Stderr, "memmodelctl: unknown command %q\n", cmd)
-		flag.Usage()
-		os.Exit(2)
-	}
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "memmodelctl: %v\n", err)
-		os.Exit(1)
-	}
-}
-
-// runHealth waits for the daemon to answer /healthz — the SDK retries
-// 503s (a booting or draining daemon) within the budget, so this
-// doubles as a readiness gate for scripts.
-func runHealth(c *client.Client) error {
-	if err := c.Healthz(context.Background()); err != nil {
-		return fmt.Errorf("health: %w", err)
-	}
-	fmt.Println("healthy")
-	return nil
-}
-
-func runEval(c *client.Client, args []string) error {
-	fs := flag.NewFlagSet("eval", flag.ExitOnError)
-	class := fs.String("class", "bigdata", "workload class (bigdata, enterprise, hpc)")
-	compulsory := fs.Float64("compulsory-ns", 0, "compulsory latency override (0 = paper baseline)")
-	peak := fs.Float64("peak-gbps", 0, "peak bandwidth override (0 = paper baseline)")
-	fs.Parse(args)
-
-	resp, err := c.Evaluate(context.Background(), client.EvaluateRequest{
-		Params:   client.ParamsSpec{Class: *class},
-		Platform: client.PlatformSpec{CompulsoryNS: *compulsory, PeakGBps: *peak},
-	})
-	if err != nil {
-		return fmt.Errorf("eval: %w", err)
-	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	return enc.Encode(resp)
-}
-
-// runCluster races routing policies on the daemon's fleet simulator
-// and prints the per-policy SLO report.
-func runCluster(c *client.Client, args []string) error {
-	fs := flag.NewFlagSet("cluster", flag.ExitOnError)
-	policies := fs.String("policies", "", "comma-separated routing policies (empty = all three)")
-	duration := fs.Float64("duration", 4, "simulated arrival horizon in seconds")
-	seed := fs.Uint64("sim-seed", 42, "arrival-stream seed (same seed, same fleet, same metrics)")
-	scale := fs.Float64("rate-scale", 1, "multiplier on every tenant's offered rate")
-	fs.Parse(args)
-
-	req := client.ClusterRequest{
-		DurationS: *duration,
-		Seed:      *seed,
-		RateScale: *scale,
-	}
-	if *policies != "" {
-		req.Policies = strings.Split(*policies, ",")
-	}
-	resp, err := c.ClusterSimulate(context.Background(), req)
-	if err != nil {
-		return fmt.Errorf("cluster: %w", err)
-	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	return enc.Encode(resp)
-}
-
-// runSoak is the chaos acceptance run: n requests spread over the
-// three workload classes and a small platform grid, every one of which
-// must eventually succeed within its budget.
-func runSoak(c *client.Client, args []string) error {
-	fs := flag.NewFlagSet("soak", flag.ExitOnError)
-	n := fs.Int("n", 200, "number of evaluate requests")
-	workers := fs.Int("workers", 4, "bounded parallelism")
-	spread := fs.Int("spread", 8, "distinct compulsory-latency variants (cache-miss spread)")
-	fs.Parse(args)
-
-	classes := []string{"bigdata", "enterprise", "hpc"}
-	reqs := make([]client.EvaluateRequest, *n)
-	for i := range reqs {
-		reqs[i] = client.EvaluateRequest{
-			Params:   client.ParamsSpec{Class: classes[i%len(classes)]},
-			Platform: client.PlatformSpec{CompulsoryNS: float64(75 + i%*spread)},
+	for _, c := range commands() {
+		if c.name != args[0] {
+			continue
 		}
-	}
-
-	start := time.Now()
-	results := c.EvaluateBatch(context.Background(), reqs, *workers)
-	elapsed := time.Since(start)
-
-	failed := 0
-	for i, res := range results {
-		if res.Err != nil {
-			failed++
-			fmt.Fprintf(os.Stderr, "soak: request %d: %v\n", i, res.Err)
+		fs := flag.NewFlagSet(c.name, flag.ExitOnError)
+		fs.Usage = func() {
+			fmt.Fprintf(fs.Output(), "usage: memmodelctl %s [flags]\n\n%s\n\nflags:\n", c.name, c.synopsis)
+			fs.PrintDefaults()
 		}
+		var sh shared
+		sh.register(fs)
+		run := c.setup(fs)
+		fs.Parse(args[1:])
+		if fs.NArg() > 0 {
+			fmt.Fprintf(os.Stderr, "memmodelctl %s: unexpected argument %q\n", c.name, fs.Arg(0))
+			os.Exit(2)
+		}
+		if err := run(context.Background(), &sh); err != nil {
+			fmt.Fprintf(os.Stderr, "memmodelctl: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
-	st := c.Stats()
-	fmt.Fprintf(os.Stderr,
-		"soak: %d/%d ok in %v (%d attempts, %d retries, %d retry-after honored, backoff %v)\n",
-		*n-failed, *n, elapsed.Round(time.Millisecond),
-		st.Attempts, st.Retries, st.RetryAfterHonored, st.BackoffTotal.Round(time.Millisecond))
-	c.WriteMetrics(os.Stdout)
-	if failed > 0 {
-		return fmt.Errorf("soak: %d/%d requests exhausted their budget", failed, *n)
+	fmt.Fprintf(os.Stderr, "memmodelctl: unknown command %q\n", args[0])
+	usage(os.Stderr)
+	os.Exit(2)
+}
+
+func versionCmd(fs *flag.FlagSet) func(context.Context, *shared) error {
+	return func(ctx context.Context, sh *shared) error {
+		fmt.Println(version.String())
+		return nil
 	}
-	return nil
 }

@@ -122,9 +122,9 @@ func (h *Hierarchy) Access(now units.Duration, ref trace.Ref, freq units.Hertz) 
 		}
 		if ref.Write {
 			// The line becomes Modified globally: mark every cached copy
-			// dirty so an LLC eviction writes back even while the fresh
-			// copy still sits in an inner level (MESI recall semantics
-			// without explicit back-invalidation messages).
+			// dirty so the LLC copy always carries the dirty state and an
+			// LLC eviction's recall (see evict) can drop the inner copies
+			// without a separate writeback.
 			for lj := li; lj < len(h.levels); lj++ {
 				if ej := h.levels[lj].find(line); ej != nil {
 					ej.dirty = true
@@ -192,6 +192,20 @@ func (h *Hierarchy) insert(now units.Duration, line uint64, li int, dirty, pref 
 }
 
 func (h *Hierarchy) evict(now units.Duration, v *entry, li int) {
+	if li == len(h.levels)-1 {
+		// Inclusive LLC: evicting a line recalls it from the inner levels.
+		// Write hits mark every cached copy dirty, so the LLC copy already
+		// carries the freshest dirty state and the inner copies can drop
+		// without their own writeback — otherwise a dirty inner copy
+		// outliving the LLC eviction gets pushed back down later and the
+		// same fill is written back twice (MemWritebacks would exceed
+		// memory fills, breaking writeback conservation).
+		for lj := 0; lj < li; lj++ {
+			if e := h.levels[lj].find(v.tag); e != nil {
+				e.valid = false
+			}
+		}
+	}
 	if !v.dirty {
 		v.valid = false
 		return

@@ -89,9 +89,9 @@ func (h eventHeap) siftDown(i int) {
 // price is the model's prediction for one (tenant, host) pair: the
 // unloaded service time of one request and its bandwidth footprint.
 type price struct {
-	service units.Duration       // Work × CPI / CoreSpeed at the solved operating point
-	demand  float64              // B/s one in-service request adds to the host
-	point   model.TopologyPoint  // the underlying operating point
+	service units.Duration      // Work × CPI / CoreSpeed at the solved operating point
+	demand  float64             // B/s one in-service request adds to the host
+	point   model.TopologyPoint // the underlying operating point
 }
 
 // pending is one admitted request waiting for a service slot.

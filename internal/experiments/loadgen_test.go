@@ -1,0 +1,29 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/workgen"
+)
+
+// TestLoadgenWorkloadDeterministic: the calibration workload's trace is
+// the reproducibility contract — compiling the same spec twice must
+// yield the bit-identical arrival schedule.
+func TestLoadgenWorkloadDeterministic(t *testing.T) {
+	a, err := workgen.Compile(loadgenWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := workgen.Compile(loadgenWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ta, tb := a.Trace(), b.Trace()
+	if ta.Hash != tb.Hash || len(ta.Arrivals) != len(tb.Arrivals) {
+		t.Fatalf("trace diverged: %s/%d vs %s/%d",
+			ta.HashHex(), len(ta.Arrivals), tb.HashHex(), len(tb.Arrivals))
+	}
+	if len(ta.Arrivals) == 0 {
+		t.Fatal("calibration workload generates no arrivals")
+	}
+}

@@ -99,6 +99,7 @@ func (s *Suite) Registry() *engine.Registry {
 		func(ctx context.Context) (Artifact, error) { return s.GradeSweep(ctx, "bwaves") })
 	add("cluster-routing", "Fleet routing policies on a mixed DRAM/HBM/CXL fleet", "fleet extension", nil, s.ClusterRouting)
 	add("cluster-admission", "Fleet token-bucket admission under load", "fleet extension", nil, s.ClusterAdmission)
+	add("loadgen-calibration", "Load-generation calibration: observed vs predicted KPIs", "calibration extension", nil, s.LoadgenCalibration)
 
 	return r
 }

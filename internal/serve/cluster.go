@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"repro/api"
 	"repro/internal/cluster"
 	"repro/internal/model"
 	"repro/internal/units"
@@ -20,102 +21,21 @@ const (
 	maxClusterArrivals = 2_000_000
 )
 
-// ClusterHostSpec is one host shape of a fleet request; Count stamps
-// out replicas sharing the topology and admission knobs.
-type ClusterHostSpec struct {
-	Name string `json:"name,omitempty"`
-	// Count replicates this host; 0 means 1.
-	Count    int          `json:"count,omitempty"`
-	Topology TopologySpec `json:"topology"`
-	// Slots is the concurrent service capacity; 0 means the topology's
-	// hardware thread count.
-	Slots int `json:"slots,omitempty"`
-	// AdmitRate/AdmitBurst shape the host's token bucket; rate 0
-	// disables admission control.
-	AdmitRate  float64 `json:"admit_rate,omitempty"`
-	AdmitBurst float64 `json:"admit_burst,omitempty"`
-}
-
-// ClusterTenantSpec is one workload class offering load to the fleet.
-type ClusterTenantSpec struct {
-	Name   string     `json:"name,omitempty"`
-	Params ParamsSpec `json:"params"`
-	// RateRPS is the offered Poisson rate in requests/second.
-	RateRPS float64 `json:"rate_rps"`
-	// WorkInstr is the request size in instructions; 0 means the
-	// reference 5e7.
-	WorkInstr float64 `json:"work_instr,omitempty"`
-}
-
-// ClusterRequest is the body of POST /v1/cluster/simulate. Empty hosts
-// and tenants default to the reference 8-host DRAM/HBM/CXL fleet under
-// the three Table 6 classes, so `{}` is a complete request.
-type ClusterRequest struct {
-	Hosts   []ClusterHostSpec   `json:"hosts,omitempty"`
-	Tenants []ClusterTenantSpec `json:"tenants,omitempty"`
-	// Policies are the routing policies to race ("round-robin",
-	// "least-loaded", "weighted"); empty means all three.
-	Policies []string `json:"policies,omitempty"`
-	// DurationS is the arrival horizon in simulated seconds; 0 means 4.
-	DurationS float64 `json:"duration_s,omitempty"`
-	// WarmupS discards early arrivals from the metrics; 0 means
-	// DurationS/8.
-	WarmupS float64 `json:"warmup_s,omitempty"`
-	// Seed derives every arrival stream; 0 is remapped like trace.NewRNG.
-	Seed uint64 `json:"seed,omitempty"`
-	// RateScale multiplies every tenant rate (load sweeps); 0 means 1.
-	RateScale float64 `json:"rate_scale,omitempty"`
-}
-
-// ClusterTenantBody is one tenant's SLO metrics in a reply.
-type ClusterTenantBody struct {
-	Name       string  `json:"name"`
-	Offered    int64   `json:"offered"`
-	Completed  int64   `json:"completed"`
-	Shed       int64   `json:"shed"`
-	OfferedRPS float64 `json:"offered_rps"`
-	GoodputRPS float64 `json:"goodput_rps"`
-	ShedRate   float64 `json:"shed_rate"`
-	P50MS      float64 `json:"p50_ms"`
-	P95MS      float64 `json:"p95_ms"`
-	P99MS      float64 `json:"p99_ms"`
-	MeanMS     float64 `json:"mean_ms"`
-}
-
-// ClusterHostBody is one host's serving counters in a reply.
-type ClusterHostBody struct {
-	Name        string  `json:"name"`
-	Completions int64   `json:"completions"`
-	Shed        int64   `json:"shed"`
-	Utilization float64 `json:"utilization"`
-	PeakQueue   int     `json:"peak_queue"`
-}
-
-// ClusterPolicyBody is one policy's simulation outcome.
-type ClusterPolicyBody struct {
-	Policy string `json:"policy"`
-	// EventHash witnesses the deterministic event order (hex FNV-64a);
-	// replaying the same request must reproduce it bit-exactly.
-	Events    int64               `json:"events"`
-	EventHash string              `json:"event_hash"`
-	Fairness  float64             `json:"fairness"`
-	Tenants   []ClusterTenantBody `json:"tenants"`
-	Hosts     []ClusterHostBody   `json:"hosts"`
-}
-
-// ClusterResponse is the body of a /v1/cluster/simulate reply.
-type ClusterResponse struct {
-	DurationS float64             `json:"duration_s"`
-	WarmupS   float64             `json:"warmup_s"`
-	Seed      uint64              `json:"seed"`
-	Policies  []ClusterPolicyBody `json:"policies"`
-	Solver    SolverBody          `json:"solver"`
-	Cached    bool                `json:"cached"`
-}
+// Cluster wire types: canonical definitions live in repro/api.
+type (
+	ClusterHostSpec   = api.ClusterHostSpec
+	ClusterTenantSpec = api.ClusterTenantSpec
+	ClusterRequest    = api.ClusterRequest
+	ClusterTenantBody = api.ClusterTenantBody
+	ClusterHostBody   = api.ClusterHostBody
+	ClusterPolicyBody = api.ClusterPolicyBody
+	ClusterResponse   = api.ClusterResponse
+)
 
 // clusterSpec materializes the request into the base cluster.Spec
-// (policy left to the caller) plus the parsed policy list.
-func (req ClusterRequest) clusterSpec() (cluster.Spec, []cluster.Policy, error) {
+// (policy left to the caller) plus the parsed policy list. A free
+// function because ClusterRequest is an alias into repro/api.
+func clusterSpec(req ClusterRequest) (cluster.Spec, []cluster.Policy, error) {
 	duration := req.DurationS
 	if duration == 0 {
 		duration = 4
@@ -234,7 +154,7 @@ func (s *Server) prepareCluster(dec *json.Decoder) (preparation, error) {
 	if err := dec.Decode(&req); err != nil {
 		return preparation{}, fmt.Errorf("decode: %w", err)
 	}
-	spec, policies, err := req.clusterSpec()
+	spec, policies, err := clusterSpec(req)
 	if err != nil {
 		return preparation{}, err
 	}

@@ -6,55 +6,32 @@ import (
 	"net/http"
 	"strconv"
 
+	"repro/api"
 	"repro/internal/model"
 	"repro/internal/solve"
 )
 
-// Stable machine-readable error codes: every non-2xx reply carries one
-// of these in the envelope's error.code field. Clients branch on the
-// code, never on the human-readable message.
+// The stable wire error codes and the envelope types live in repro/api;
+// these aliases keep the service layer and its tests reading naturally.
 const (
-	// CodeBadRequest: the body failed to decode (malformed JSON, unknown
-	// field, oversized payload).
-	CodeBadRequest = "bad_request"
-	// CodeInvalidParams: the workload spec failed validation.
-	CodeInvalidParams = "invalid_params"
-	// CodeInvalidPlatform: the platform or sweep spec failed validation.
-	CodeInvalidPlatform = "invalid_platform"
-	// CodeMethodNotAllowed: wrong HTTP method for the endpoint.
-	CodeMethodNotAllowed = "method_not_allowed"
-	// CodeOverloaded: admission shed the request (429 + Retry-After).
-	CodeOverloaded = "overloaded"
-	// CodeDeadlineExceeded: the evaluation ran past the server's
-	// per-request deadline (504).
-	CodeDeadlineExceeded = "deadline_exceeded"
-	// CodeUnavailable: the request ended before completion — client
-	// disconnect or server drain (503 + Retry-After).
-	CodeUnavailable = "unavailable"
-	// CodeNoConvergence: the fixed-point solver exhausted its iteration
-	// budget (422).
-	CodeNoConvergence = "no_convergence"
-	// CodeFaultInjected: the chaos middleware manufactured this failure;
-	// only seen with fault injection armed (500 or 503 + Retry-After).
-	CodeFaultInjected = "fault_injected"
-	// CodeInternal: anything else (500).
-	CodeInternal = "internal"
+	CodeBadRequest       = api.CodeBadRequest
+	CodeInvalidParams    = api.CodeInvalidParams
+	CodeInvalidPlatform  = api.CodeInvalidPlatform
+	CodeMethodNotAllowed = api.CodeMethodNotAllowed
+	CodeOverloaded       = api.CodeOverloaded
+	CodeDeadlineExceeded = api.CodeDeadlineExceeded
+	CodeUnavailable      = api.CodeUnavailable
+	CodeNoConvergence    = api.CodeNoConvergence
+	CodeFaultInjected    = api.CodeFaultInjected
+	CodeInternal         = api.CodeInternal
 )
 
-// ErrorDetail is the unified error payload: a stable code, a
-// human-readable message, and optional structured details.
-type ErrorDetail struct {
-	Code    string         `json:"code"`
-	Message string         `json:"message"`
-	Details map[string]any `json:"details,omitempty"`
-}
-
-// ErrorBody is the JSON envelope every non-2xx reply carries:
-// {"error":{"code":..., "message":..., "details":...}} across every
-// endpoint.
-type ErrorBody struct {
-	Error ErrorDetail `json:"error"`
-}
+type (
+	// ErrorDetail is the unified error payload.
+	ErrorDetail = api.ErrorDetail
+	// ErrorBody is the JSON envelope every non-2xx reply carries.
+	ErrorBody = api.ErrorBody
+)
 
 // classify maps evaluation errors onto (HTTP status, wire code):
 // validation sentinels to 400, shed load to 429, deadlines to 504,

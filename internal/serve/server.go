@@ -21,6 +21,7 @@ const (
 	epTopology = "topology"
 	epSweep    = "sweep"
 	epCluster  = "cluster"
+	epWorkload = "workload"
 )
 
 // maxBodyBytes bounds request bodies; a measured curve with thousands
@@ -66,7 +67,7 @@ func New(opts ...Option) *Server {
 		cfg:     cfg,
 		cache:   NewCache(cfg.cacheSize),
 		adm:     NewAdmission(cfg.maxConcurrent, cfg.maxQueue),
-		metrics: newMetrics([]string{epEvaluate, epTiered, epNUMA, epTopology, epSweep, epCluster}),
+		metrics: newMetrics([]string{epEvaluate, epTiered, epNUMA, epTopology, epSweep, epCluster, epWorkload}),
 		faults:  newFaultInjector(cfg.faults),
 		clock:   cfg.clock,
 	}
@@ -81,6 +82,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/evaluate/topology", s.post(epTopology, s.prepareTopology))
 	mux.HandleFunc("/v1/sweep", s.post(epSweep, s.prepareSweep))
 	mux.HandleFunc("/v1/cluster/simulate", s.post(epCluster, s.prepareCluster))
+	mux.HandleFunc("/v1/workload/validate", s.post(epWorkload, s.prepareWorkload))
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux
@@ -121,16 +123,37 @@ type preparation struct {
 // prepareFunc decodes and validates one endpoint's request body.
 type prepareFunc func(dec *json.Decoder) (preparation, error)
 
-// cachedMarker lets the generic handler set the Cached flag on a
-// response served from the cache without knowing its concrete type.
-type cachedMarker interface{ markCached() any }
-
-func (r EvaluateResponse) markCached() any { r.Cached = true; return r }
-func (r TieredResponse) markCached() any   { r.Cached = true; return r }
-func (r NUMAResponse) markCached() any     { r.Cached = true; return r }
-func (r TopologyResponse) markCached() any { r.Cached = true; return r }
-func (r SweepResponse) markCached() any    { r.Cached = true; return r }
-func (r ClusterResponse) markCached() any  { r.Cached = true; return r }
+// markCached sets the Cached flag on a response served from the cache.
+// The response types are aliases into repro/api (which cannot carry
+// serve-side methods), so this is a type switch over the copies rather
+// than an interface; a new endpoint's response type must be added here.
+func markCached(v any) any {
+	switch r := v.(type) {
+	case EvaluateResponse:
+		r.Cached = true
+		return r
+	case TieredResponse:
+		r.Cached = true
+		return r
+	case NUMAResponse:
+		r.Cached = true
+		return r
+	case TopologyResponse:
+		r.Cached = true
+		return r
+	case SweepResponse:
+		r.Cached = true
+		return r
+	case ClusterResponse:
+		r.Cached = true
+		return r
+	case WorkloadValidateResponse:
+		r.Cached = true
+		return r
+	default:
+		return v
+	}
+}
 
 // post wraps one endpoint: fault injection (when armed), method check,
 // bounded decode, admission, per-request deadline, cached evaluation,
@@ -210,7 +233,7 @@ func (s *Server) post(name string, prepare prepareFunc) http.HandlerFunc {
 			return
 		}
 		if cached {
-			val = val.(cachedMarker).markCached()
+			val = markCached(val)
 		}
 		writeJSON(w, http.StatusOK, val)
 	}

@@ -1,548 +1,61 @@
 // Package serve is the transport-agnostic service layer over the
-// analytic model: JSON wire types for every evaluator (single-tier
+// analytic model: HTTP handlers for every evaluator (single-tier
 // Eq. 1/4, tiered Eq. 5, NUMA, and the Fig. 8–11 style sweeps), a
 // sharded scenario cache with singleflight collapsing, a semaphore
 // admission controller with load shedding, and live telemetry. The
 // cmd/memmodeld daemon is a thin HTTP shell around this package.
 //
-// The wire types deliberately mirror the CLI surface of cmd/memmodel:
-// a workload is either a named class ("bigdata", "enterprise", "hpc")
-// or explicit Eq. 1/4 components, and a platform defaults field-by-field
-// to the paper's §VI.C.2 baseline, so `{"params":{"class":"bigdata"},
-// "platform":{}}` is a complete request. Spec validation maps onto the
-// model layer's ErrInvalidParams/ErrInvalidPlatform sentinels, which the
-// handlers translate to 400s — a malformed body can never panic the
-// daemon.
+// The JSON wire types live in the public repro/api package, shared with
+// the client SDK; the names below are aliases kept so the service layer
+// reads naturally. The wire contract itself (class-or-custom params,
+// baseline-defaulting platforms, the unified error envelope) is
+// documented on the api types.
 package serve
 
 import (
-	"fmt"
-	"strings"
-
+	"repro/api"
 	"repro/internal/model"
-	"repro/internal/params"
-	"repro/internal/queueing"
-	"repro/internal/units"
 )
 
-// CurveSpec selects a queuing curve. The zero value means the analytic
-// M/M/1 curve with a 6 ns service time and 95% stability limit — the
-// same default cmd/memmodel uses.
-type CurveSpec struct {
-	// Type is "mm1", "md1", or "measured"; empty means "mm1".
-	Type string `json:"type,omitempty"`
-	// ServiceNS is the analytic curves' service time; 0 means 6 ns.
-	ServiceNS float64 `json:"service_ns,omitempty"`
-	// ULimit is the stability limit in (0,1); 0 means 0.95.
-	ULimit float64 `json:"ulimit,omitempty"`
-	// Points are the samples of a measured curve.
-	Points []CurvePoint `json:"points,omitempty"`
-}
+// Wire-type aliases: the canonical definitions live in repro/api.
+type (
+	CurveSpec            = api.CurveSpec
+	CurvePoint           = api.CurvePoint
+	ParamsSpec           = api.ParamsSpec
+	PlatformSpec         = api.PlatformSpec
+	TierSpec             = api.TierSpec
+	TieredPlatformSpec   = api.TieredPlatformSpec
+	NUMAPlatformSpec     = api.NUMAPlatformSpec
+	TopologyTierSpec     = api.TopologyTierSpec
+	TopologySpec         = api.TopologySpec
+	BandwidthVariantSpec = api.BandwidthVariantSpec
 
-// CurvePoint is one (utilization, queuing delay) sample of a measured
-// curve.
-type CurvePoint struct {
-	Utilization float64 `json:"utilization"`
-	DelayNS     float64 `json:"delay_ns"`
-}
+	EvaluateRequest = api.EvaluateRequest
+	TieredRequest   = api.TieredRequest
+	NUMARequest     = api.NUMARequest
+	TopologyRequest = api.TopologyRequest
+	SweepRequest    = api.SweepRequest
 
-// Curve materializes the spec. Errors wrap model.ErrInvalidPlatform.
-func (cs CurveSpec) Curve() (queueing.Curve, error) {
-	service := cs.ServiceNS
-	if service == 0 {
-		service = 6
-	}
-	if service < 0 {
-		return nil, fmt.Errorf("%w: curve service_ns must be non-negative", model.ErrInvalidPlatform)
-	}
-	if cs.ULimit < 0 || cs.ULimit >= 1 {
-		return nil, fmt.Errorf("%w: curve ulimit must be in [0,1)", model.ErrInvalidPlatform)
-	}
-	switch strings.ToLower(cs.Type) {
-	case "", "mm1":
-		return queueing.MM1{Service: units.Duration(service), ULimit: cs.ULimit}, nil
-	case "md1":
-		return queueing.MD1{Service: units.Duration(service), ULimit: cs.ULimit}, nil
-	case "measured":
-		us := make([]float64, len(cs.Points))
-		ds := make([]units.Duration, len(cs.Points))
-		for i, pt := range cs.Points {
-			if pt.DelayNS < 0 {
-				return nil, fmt.Errorf("%w: measured curve delay must be non-negative", model.ErrInvalidPlatform)
-			}
-			us[i] = pt.Utilization
-			ds[i] = units.Duration(pt.DelayNS)
-		}
-		m, err := queueing.NewMeasured(us, ds)
-		if err != nil {
-			return nil, fmt.Errorf("%w: %v", model.ErrInvalidPlatform, err)
-		}
-		return m, nil
-	default:
-		return nil, fmt.Errorf("%w: unknown curve type %q", model.ErrInvalidPlatform, cs.Type)
-	}
-}
+	OperatingPointBody    = api.OperatingPointBody
+	SolverBody            = api.SolverBody
+	EvaluateResponse      = api.EvaluateResponse
+	TierPointBody         = api.TierPointBody
+	TieredResponse        = api.TieredResponse
+	NUMAResponse          = api.NUMAResponse
+	TopologyTierPointBody = api.TopologyTierPointBody
+	TopologyResponse      = api.TopologyResponse
+	SweepPointBody        = api.SweepPointBody
+	SweepResponse         = api.SweepResponse
 
-// ParamsSpec selects a workload: a named class from the paper's Table 6
-// means, optionally overridden component-by-component, or a fully
-// custom parameter set.
-type ParamsSpec struct {
-	// Class is "bigdata", "enterprise", or "hpc"; empty means fully
-	// custom parameters.
-	Class    string  `json:"class,omitempty"`
-	Name     string  `json:"name,omitempty"`
-	CPICache float64 `json:"cpi_cache,omitempty"`
-	BF       float64 `json:"bf,omitempty"`
-	MPKI     float64 `json:"mpki,omitempty"`
-	WBR      float64 `json:"wbr,omitempty"`
-	IOPI     float64 `json:"iopi,omitempty"`
-	IOSZ     float64 `json:"iosz,omitempty"`
-}
-
-// classTarget maps a class name onto the paper's Table 6 means.
-func classTarget(class string) (params.Target, error) {
-	switch strings.ToLower(class) {
-	case "enterprise":
-		return params.Table6[0], nil
-	case "bigdata", "big data":
-		return params.Table6[1], nil
-	case "hpc":
-		return params.Table6[2], nil
-	}
-	return params.Target{}, fmt.Errorf("%w: unknown class %q (want bigdata, enterprise, hpc, or custom components)",
-		model.ErrInvalidParams, class)
-}
-
-// Params materializes the spec and validates it. Errors wrap
-// model.ErrInvalidParams.
-func (ps ParamsSpec) Params() (model.Params, error) {
-	p := model.Params{
-		Name:     ps.Name,
-		CPICache: ps.CPICache,
-		BF:       ps.BF,
-		MPKI:     ps.MPKI,
-		WBR:      ps.WBR,
-		IOPI:     ps.IOPI,
-		IOSZ:     ps.IOSZ,
-	}
-	if ps.Class != "" {
-		t, err := classTarget(ps.Class)
-		if err != nil {
-			return model.Params{}, err
-		}
-		// Class supplies the base; explicit non-zero fields override.
-		if p.Name == "" {
-			p.Name = t.Workload
-		}
-		if p.CPICache == 0 {
-			p.CPICache = t.CPICache
-		}
-		if p.BF == 0 {
-			p.BF = t.BF
-		}
-		if p.MPKI == 0 {
-			p.MPKI = t.MPKI
-		}
-		if p.WBR == 0 {
-			p.WBR = t.WBR
-		}
-	}
-	if p.Name == "" {
-		p.Name = "custom"
-	}
-	if err := p.Validate(); err != nil {
-		return model.Params{}, err
-	}
-	return p, nil
-}
-
-// PlatformSpec describes a single-tier platform. Zero fields default to
-// the paper's §VI.C.2 baseline (8C/16T @ 2.5 GHz, 75 ns compulsory,
-// 4×DDR3-1867 at 70% efficiency ≈ 42 GB/s). Bandwidth comes either
-// from peak_gbps directly or from channels × grade_mts × 8 B ×
-// efficiency.
-type PlatformSpec struct {
-	Name         string    `json:"name,omitempty"`
-	Cores        int       `json:"cores,omitempty"`
-	Threads      int       `json:"threads,omitempty"`
-	GHz          float64   `json:"ghz,omitempty"`
-	LineSize     float64   `json:"line_size,omitempty"`
-	CompulsoryNS float64   `json:"compulsory_ns,omitempty"`
-	PeakGBps     float64   `json:"peak_gbps,omitempty"`
-	Channels     int       `json:"channels,omitempty"`
-	GradeMTs     int       `json:"grade_mts,omitempty"`
-	Efficiency   float64   `json:"efficiency,omitempty"`
-	Queue        CurveSpec `json:"queue,omitempty"`
-}
-
-// Platform materializes the spec and validates it. Errors wrap
-// model.ErrInvalidPlatform.
-func (s PlatformSpec) Platform() (model.Platform, error) {
-	b := params.Baseline()
-	pl := model.Platform{
-		Name:       s.Name,
-		Cores:      s.Cores,
-		Threads:    s.Threads,
-		CoreSpeed:  units.GHzOf(s.GHz),
-		LineSize:   units.Bytes(s.LineSize),
-		Compulsory: units.Duration(s.CompulsoryNS),
-	}
-	if pl.Name == "" {
-		pl.Name = "serve"
-	}
-	if pl.Cores == 0 {
-		pl.Cores = b.Cores
-	}
-	if pl.Threads == 0 {
-		pl.Threads = pl.Cores * b.ThreadsPerCore
-	}
-	if pl.CoreSpeed == 0 {
-		pl.CoreSpeed = b.CoreSpeed
-	}
-	if pl.LineSize == 0 {
-		pl.LineSize = b.LineSize
-	}
-	if pl.Compulsory == 0 {
-		pl.Compulsory = b.Compulsory
-	}
-	switch {
-	case s.PeakGBps != 0:
-		pl.PeakBW = units.GBpsOf(s.PeakGBps)
-	case s.Channels != 0 || s.GradeMTs != 0 || s.Efficiency != 0:
-		ch, mts, eff := s.Channels, s.GradeMTs, s.Efficiency
-		if ch == 0 {
-			ch = b.Channels
-		}
-		if mts == 0 {
-			mts = b.ChannelMTs
-		}
-		if eff == 0 {
-			eff = b.Efficiency
-		}
-		if ch < 0 || mts < 0 || eff < 0 || eff > 1 {
-			return model.Platform{}, fmt.Errorf("%w: channel description out of range", model.ErrInvalidPlatform)
-		}
-		pl.PeakBW = units.BytesPerSecond(float64(ch) * float64(mts) * 1e6 * 8 * eff)
-	default:
-		pl.PeakBW = b.EffectiveBandwidth()
-	}
-	var err error
-	if pl.Queue, err = s.Queue.Curve(); err != nil {
-		return model.Platform{}, err
-	}
-	if err := pl.Validate(); err != nil {
-		return model.Platform{}, err
-	}
-	return pl, nil
-}
-
-// TierSpec is one level of a tiered memory system.
-type TierSpec struct {
-	Name         string    `json:"name,omitempty"`
-	HitFraction  float64   `json:"hit_fraction"`
-	CompulsoryNS float64   `json:"compulsory_ns"`
-	PeakGBps     float64   `json:"peak_gbps"`
-	Queue        CurveSpec `json:"queue,omitempty"`
-}
-
-// TieredPlatformSpec describes an Eq. 5 multi-tier platform; the core
-// side defaults like PlatformSpec, the tiers must be explicit.
-type TieredPlatformSpec struct {
-	Name     string     `json:"name,omitempty"`
-	Cores    int        `json:"cores,omitempty"`
-	Threads  int        `json:"threads,omitempty"`
-	GHz      float64    `json:"ghz,omitempty"`
-	LineSize float64    `json:"line_size,omitempty"`
-	Tiers    []TierSpec `json:"tiers"`
-}
-
-// Platform materializes the spec and validates it. Errors wrap
-// model.ErrInvalidPlatform.
-func (s TieredPlatformSpec) Platform() (model.TieredPlatform, error) {
-	b := params.Baseline()
-	tp := model.TieredPlatform{
-		Name:      s.Name,
-		Cores:     s.Cores,
-		Threads:   s.Threads,
-		CoreSpeed: units.GHzOf(s.GHz),
-		LineSize:  units.Bytes(s.LineSize),
-	}
-	if tp.Name == "" {
-		tp.Name = "serve-tiered"
-	}
-	if tp.Cores == 0 {
-		tp.Cores = b.Cores
-	}
-	if tp.Threads == 0 {
-		tp.Threads = tp.Cores * b.ThreadsPerCore
-	}
-	if tp.CoreSpeed == 0 {
-		tp.CoreSpeed = b.CoreSpeed
-	}
-	if tp.LineSize == 0 {
-		tp.LineSize = b.LineSize
-	}
-	for i, ts := range s.Tiers {
-		curve, err := ts.Queue.Curve()
-		if err != nil {
-			return model.TieredPlatform{}, err
-		}
-		name := ts.Name
-		if name == "" {
-			name = fmt.Sprintf("tier%d", i)
-		}
-		tp.Tiers = append(tp.Tiers, model.Tier{
-			Name:        name,
-			HitFraction: ts.HitFraction,
-			Compulsory:  units.Duration(ts.CompulsoryNS),
-			PeakBW:      units.GBpsOf(ts.PeakGBps),
-			Queue:       curve,
-		})
-	}
-	if err := tp.Validate(); err != nil {
-		return model.TieredPlatform{}, err
-	}
-	return tp, nil
-}
-
-// NUMAPlatformSpec describes a symmetric multi-socket platform. Zero
-// fields default to the dual-socket version of the paper's baseline
-// (two §VI.C.2 sockets, 60 ns remote adder, 25 GB/s link).
-type NUMAPlatformSpec struct {
-	Name             string    `json:"name,omitempty"`
-	Sockets          int       `json:"sockets,omitempty"`
-	ThreadsPerSocket int       `json:"threads_per_socket,omitempty"`
-	CoresPerSocket   int       `json:"cores_per_socket,omitempty"`
-	GHz              float64   `json:"ghz,omitempty"`
-	LineSize         float64   `json:"line_size,omitempty"`
-	LocalNS          float64   `json:"local_ns,omitempty"`
-	RemoteAdderNS    float64   `json:"remote_adder_ns,omitempty"`
-	SocketPeakGBps   float64   `json:"socket_peak_gbps,omitempty"`
-	LinkPeakGBps     float64   `json:"link_peak_gbps,omitempty"`
-	RemoteFraction   float64   `json:"remote_fraction,omitempty"`
-	Queue            CurveSpec `json:"queue,omitempty"`
-}
-
-// Platform materializes the spec and validates it. Errors wrap
-// model.ErrInvalidPlatform.
-func (s NUMAPlatformSpec) Platform() (model.NUMAPlatform, error) {
-	b := params.Baseline()
-	np := model.NUMAPlatform{
-		Name:             s.Name,
-		Sockets:          s.Sockets,
-		ThreadsPerSocket: s.ThreadsPerSocket,
-		CoresPerSocket:   s.CoresPerSocket,
-		CoreSpeed:        units.GHzOf(s.GHz),
-		LineSize:         units.Bytes(s.LineSize),
-		LocalCompulsory:  units.Duration(s.LocalNS),
-		RemoteAdder:      units.Duration(s.RemoteAdderNS),
-		SocketPeakBW:     units.GBpsOf(s.SocketPeakGBps),
-		LinkPeakBW:       units.GBpsOf(s.LinkPeakGBps),
-		RemoteFraction:   s.RemoteFraction,
-	}
-	if np.Name == "" {
-		np.Name = "serve-numa"
-	}
-	if np.Sockets == 0 {
-		np.Sockets = 2
-	}
-	if np.CoresPerSocket == 0 {
-		np.CoresPerSocket = b.Cores
-	}
-	if np.ThreadsPerSocket == 0 {
-		np.ThreadsPerSocket = np.CoresPerSocket * b.ThreadsPerCore
-	}
-	if np.CoreSpeed == 0 {
-		np.CoreSpeed = b.CoreSpeed
-	}
-	if np.LineSize == 0 {
-		np.LineSize = b.LineSize
-	}
-	if np.LocalCompulsory == 0 {
-		np.LocalCompulsory = b.Compulsory
-	}
-	if np.RemoteAdder == 0 {
-		np.RemoteAdder = 60 * units.Nanosecond
-	}
-	if np.SocketPeakBW == 0 {
-		np.SocketPeakBW = b.EffectiveBandwidth()
-	}
-	if np.LinkPeakBW == 0 {
-		np.LinkPeakBW = units.GBpsOf(25)
-	}
-	var err error
-	if np.Queue, err = s.Queue.Curve(); err != nil {
-		return model.NUMAPlatform{}, err
-	}
-	if err := np.Validate(); err != nil {
-		return model.NUMAPlatform{}, err
-	}
-	return np, nil
-}
-
-// TopologyTierSpec is one memory tier of an N-tier topology.
-type TopologyTierSpec struct {
-	Name string `json:"name,omitempty"`
-	// Share is the tier's traffic share: a fraction summing to 1 under
-	// the "fractions" policy, a non-negative interleave weight under
-	// "interleave", ignored under "local-remote".
-	Share        float64 `json:"share,omitempty"`
-	CompulsoryNS float64 `json:"compulsory_ns"`
-	PeakGBps     float64 `json:"peak_gbps"`
-	// Efficiency derates peak to sustained bandwidth, in (0,1];
-	// 0 means 1.0 (no derating).
-	Efficiency float64   `json:"efficiency,omitempty"`
-	Queue      CurveSpec `json:"queue,omitempty"`
-}
-
-// TopologySpec describes an N-tier memory topology — the unified form
-// behind the flat, tiered, and NUMA platforms. The core side defaults
-// like PlatformSpec; the tiers must be explicit.
-type TopologySpec struct {
-	Name     string  `json:"name,omitempty"`
-	Cores    int     `json:"cores,omitempty"`
-	Threads  int     `json:"threads,omitempty"`
-	GHz      float64 `json:"ghz,omitempty"`
-	LineSize float64 `json:"line_size,omitempty"`
-	// Policy is "fractions" (default), "interleave", or "local-remote".
-	Policy string `json:"policy,omitempty"`
-	// RemoteFraction is the interconnect-traversing share under
-	// "local-remote".
-	RemoteFraction float64            `json:"remote_fraction,omitempty"`
-	Tiers          []TopologyTierSpec `json:"tiers"`
-}
-
-// splitPolicy parses the wire policy name.
-func splitPolicy(s string) (model.SplitPolicy, error) {
-	switch strings.ToLower(s) {
-	case "", "fractions":
-		return model.SplitFractions, nil
-	case "interleave":
-		return model.SplitInterleave, nil
-	case "local-remote", "numa":
-		return model.SplitLocalRemote, nil
-	}
-	return 0, fmt.Errorf("%w: unknown split policy %q (want fractions, interleave, or local-remote)",
-		model.ErrInvalidPlatform, s)
-}
-
-// Topology materializes the spec and validates it. Errors wrap
-// model.ErrInvalidPlatform.
-func (s TopologySpec) Topology() (model.Topology, error) {
-	b := params.Baseline()
-	top := model.Topology{
-		Name:           s.Name,
-		Cores:          s.Cores,
-		Threads:        s.Threads,
-		CoreSpeed:      units.GHzOf(s.GHz),
-		LineSize:       units.Bytes(s.LineSize),
-		RemoteFraction: s.RemoteFraction,
-	}
-	var err error
-	if top.Policy, err = splitPolicy(s.Policy); err != nil {
-		return model.Topology{}, err
-	}
-	if top.Name == "" {
-		top.Name = "serve-topology"
-	}
-	if top.Cores == 0 {
-		top.Cores = b.Cores
-	}
-	if top.Threads == 0 {
-		top.Threads = top.Cores * b.ThreadsPerCore
-	}
-	if top.CoreSpeed == 0 {
-		top.CoreSpeed = b.CoreSpeed
-	}
-	if top.LineSize == 0 {
-		top.LineSize = b.LineSize
-	}
-	for i, ts := range s.Tiers {
-		curve, err := ts.Queue.Curve()
-		if err != nil {
-			return model.Topology{}, err
-		}
-		name := ts.Name
-		if name == "" {
-			name = fmt.Sprintf("tier%d", i)
-		}
-		top.Tiers = append(top.Tiers, model.MemTier{
-			Name:       name,
-			Share:      ts.Share,
-			Compulsory: units.Duration(ts.CompulsoryNS),
-			PeakBW:     units.GBpsOf(ts.PeakGBps),
-			Efficiency: ts.Efficiency,
-			Queue:      curve,
-		})
-	}
-	if err := top.Validate(); err != nil {
-		return model.Topology{}, err
-	}
-	return top, nil
-}
-
-// EvaluateRequest is the body of POST /v1/evaluate.
-type EvaluateRequest struct {
-	Params   ParamsSpec   `json:"params"`
-	Platform PlatformSpec `json:"platform"`
-}
-
-// TieredRequest is the body of POST /v1/evaluate/tiered.
-type TieredRequest struct {
-	Params   ParamsSpec         `json:"params"`
-	Platform TieredPlatformSpec `json:"platform"`
-}
-
-// NUMARequest is the body of POST /v1/evaluate/numa.
-type NUMARequest struct {
-	Params   ParamsSpec       `json:"params"`
-	Platform NUMAPlatformSpec `json:"platform"`
-}
-
-// TopologyRequest is the body of POST /v1/evaluate/topology.
-type TopologyRequest struct {
-	Params   ParamsSpec   `json:"params"`
-	Topology TopologySpec `json:"topology"`
-}
-
-// BandwidthVariantSpec is one platform variant of a bandwidth sweep.
-type BandwidthVariantSpec struct {
-	Label      string  `json:"label,omitempty"`
-	Channels   int     `json:"channels"`
-	GradeMTs   int     `json:"grade_mts"`
-	Efficiency float64 `json:"efficiency"`
-}
-
-// SweepRequest is the body of POST /v1/sweep: a latency or bandwidth
-// grid in the style of Figs. 8–11, batched through the bounded-parallel
-// solve kernel.
-type SweepRequest struct {
-	// Classes are the workloads swept; empty means the three Table 6
-	// class means.
-	Classes  []ParamsSpec `json:"classes,omitempty"`
-	Platform PlatformSpec `json:"platform"`
-	// Axis is "latency" or "bandwidth".
-	Axis string `json:"axis"`
-	// Steps and StepNS shape a latency sweep (steps of step_ns added to
-	// the baseline compulsory latency); 0 means 10 steps of 10 ns.
-	Steps  int     `json:"steps,omitempty"`
-	StepNS float64 `json:"step_ns,omitempty"`
-	// Variants shape a bandwidth sweep; empty means the paper's §VI.C.2
-	// variant set.
-	Variants []BandwidthVariantSpec `json:"variants,omitempty"`
-}
-
-// OperatingPointBody is the wire form of a solved operating point.
-type OperatingPointBody struct {
-	CPI            float64 `json:"cpi"`
-	MissPenaltyNS  float64 `json:"miss_penalty_ns"`
-	QueueNS        float64 `json:"queue_ns"`
-	DemandGBps     float64 `json:"demand_gbps"`
-	DeliveredGBps  float64 `json:"delivered_gbps"`
-	Utilization    float64 `json:"utilization"`
-	BandwidthBound bool    `json:"bandwidth_bound"`
-	ThroughputGIPS float64 `json:"throughput_gips"`
-}
+	WorkloadSpec             = api.WorkloadSpec
+	WorkloadClientSpec       = api.WorkloadClientSpec
+	ArrivalSpec              = api.ArrivalSpec
+	WorkloadScenarioSpec     = api.WorkloadScenarioSpec
+	WorkloadValidateRequest  = api.WorkloadValidateRequest
+	WorkloadKPIBody          = api.WorkloadKPIBody
+	WorkloadScenarioBody     = api.WorkloadScenarioBody
+	WorkloadValidateResponse = api.WorkloadValidateResponse
+)
 
 func pointBody(op model.OperatingPoint, pl model.Platform) OperatingPointBody {
 	return OperatingPointBody{
@@ -555,105 +68,4 @@ func pointBody(op model.OperatingPoint, pl model.Platform) OperatingPointBody {
 		BandwidthBound: op.BandwidthBound,
 		ThroughputGIPS: op.Throughput(pl) / 1e9,
 	}
-}
-
-// SolverBody echoes the solver telemetry of the solve(s) behind a
-// response. Cached responses replay the telemetry recorded when the
-// scenario was first solved.
-type SolverBody struct {
-	Solves           int64   `json:"solves"`
-	Iterations       int64   `json:"iterations"`
-	Fallbacks        int64   `json:"fallbacks"`
-	BandwidthLimited int64   `json:"bandwidth_limited"`
-	WorstResidual    float64 `json:"worst_residual"`
-}
-
-// EvaluateResponse is the body of a /v1/evaluate reply.
-type EvaluateResponse struct {
-	Workload string             `json:"workload"`
-	Platform string             `json:"platform"`
-	Point    OperatingPointBody `json:"point"`
-	Solver   SolverBody         `json:"solver"`
-	Cached   bool               `json:"cached"`
-}
-
-// TierPointBody is one tier's share of a tiered reply.
-type TierPointBody struct {
-	Name          string  `json:"name"`
-	MissPenaltyNS float64 `json:"miss_penalty_ns"`
-	DemandGBps    float64 `json:"demand_gbps"`
-	Utilization   float64 `json:"utilization"`
-	Saturated     bool    `json:"saturated"`
-}
-
-// TieredResponse is the body of a /v1/evaluate/tiered reply.
-type TieredResponse struct {
-	Workload       string          `json:"workload"`
-	Platform       string          `json:"platform"`
-	CPI            float64         `json:"cpi"`
-	BandwidthBound bool            `json:"bandwidth_bound"`
-	Tiers          []TierPointBody `json:"tiers"`
-	Solver         SolverBody      `json:"solver"`
-	Cached         bool            `json:"cached"`
-}
-
-// NUMAResponse is the body of a /v1/evaluate/numa reply.
-type NUMAResponse struct {
-	Workload       string     `json:"workload"`
-	Platform       string     `json:"platform"`
-	CPI            float64    `json:"cpi"`
-	LocalNS        float64    `json:"local_ns"`
-	RemoteNS       float64    `json:"remote_ns"`
-	EffectiveNS    float64    `json:"effective_ns"`
-	DRAMDemandGBps float64    `json:"dram_demand_gbps"`
-	LinkDemandGBps float64    `json:"link_demand_gbps"`
-	DRAMUtil       float64    `json:"dram_util"`
-	LinkUtil       float64    `json:"link_util"`
-	BandwidthBound bool       `json:"bandwidth_bound"`
-	Solver         SolverBody `json:"solver"`
-	Cached         bool       `json:"cached"`
-}
-
-// TopologyTierPointBody is one tier's share of a topology reply.
-type TopologyTierPointBody struct {
-	Name          string  `json:"name"`
-	MissPenaltyNS float64 `json:"miss_penalty_ns"`
-	DemandGBps    float64 `json:"demand_gbps"`
-	DeliveredGBps float64 `json:"delivered_gbps"`
-	Utilization   float64 `json:"utilization"`
-	Saturated     bool    `json:"saturated"`
-}
-
-// TopologyResponse is the body of a /v1/evaluate/topology reply.
-type TopologyResponse struct {
-	Workload       string                  `json:"workload"`
-	Platform       string                  `json:"platform"`
-	Policy         string                  `json:"policy"`
-	CPI            float64                 `json:"cpi"`
-	EffectiveNS    float64                 `json:"effective_ns"`
-	BandwidthBound bool                    `json:"bandwidth_bound"`
-	Limiter        string                  `json:"limiter,omitempty"`
-	Tiers          []TopologyTierPointBody `json:"tiers"`
-	Solver         SolverBody              `json:"solver"`
-	Cached         bool                    `json:"cached"`
-}
-
-// SweepPointBody is one platform variant of a sweep reply.
-type SweepPointBody struct {
-	Platform string `json:"platform"`
-	// Delta is the x position: GB/s per core vs baseline for bandwidth
-	// sweeps, added nanoseconds for latency sweeps.
-	Delta float64 `json:"delta"`
-	// CPI and CPIIncrease map class name to absolute CPI and to the
-	// fractional increase over that class's baseline CPI.
-	CPI         map[string]float64 `json:"cpi"`
-	CPIIncrease map[string]float64 `json:"cpi_increase"`
-}
-
-// SweepResponse is the body of a /v1/sweep reply.
-type SweepResponse struct {
-	Axis   string           `json:"axis"`
-	Points []SweepPointBody `json:"points"`
-	Solver SolverBody       `json:"solver"`
-	Cached bool             `json:"cached"`
 }

@@ -188,3 +188,49 @@ func CoefficientOfVariation(xs []float64) float64 {
 	}
 	return StdDev(xs) / m
 }
+
+// Pearson returns the sample Pearson correlation coefficient between
+// paired observations xs and ys — the calibration loop's measure of how
+// well predicted KPIs track observed ones across clients. It returns
+// ErrEmpty for fewer than two pairs or mismatched lengths, and an error
+// when either side has zero variance (r is undefined there).
+func Pearson(xs, ys []float64) (float64, error) {
+	if len(xs) < 2 || len(xs) != len(ys) {
+		return 0, ErrEmpty
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, errors.New("stats: pearson undefined for zero variance")
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}
+
+// MAPE returns the mean absolute percentage error of predictions pred
+// against observations obs, in percent. Pairs whose observation is zero
+// are skipped (their percentage error is undefined); if no usable pair
+// remains it returns ErrEmpty.
+func MAPE(obs, pred []float64) (float64, error) {
+	if len(obs) == 0 || len(obs) != len(pred) {
+		return 0, ErrEmpty
+	}
+	var sum float64
+	n := 0
+	for i := range obs {
+		if obs[i] == 0 {
+			continue
+		}
+		sum += math.Abs((pred[i] - obs[i]) / obs[i])
+		n++
+	}
+	if n == 0 {
+		return 0, ErrEmpty
+	}
+	return 100 * sum / float64(n), nil
+}

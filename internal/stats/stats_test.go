@@ -180,3 +180,44 @@ func TestCoefficientOfVariation(t *testing.T) {
 		t.Fatalf("CoV = %v, want 0.1", got)
 	}
 }
+
+func TestPearson(t *testing.T) {
+	// Perfect positive and negative linear relationships.
+	if r, err := Pearson([]float64{1, 2, 3, 4}, []float64{2, 4, 6, 8}); err != nil || math.Abs(r-1) > 1e-12 {
+		t.Fatalf("Pearson = %v, %v, want 1", r, err)
+	}
+	if r, err := Pearson([]float64{1, 2, 3}, []float64{3, 2, 1}); err != nil || math.Abs(r+1) > 1e-12 {
+		t.Fatalf("Pearson = %v, %v, want -1", r, err)
+	}
+	// Known mid-strength value: r of (1,2,3) vs (1,3,2) is 0.5.
+	if r, err := Pearson([]float64{1, 2, 3}, []float64{1, 3, 2}); err != nil || math.Abs(r-0.5) > 1e-12 {
+		t.Fatalf("Pearson = %v, %v, want 0.5", r, err)
+	}
+	if _, err := Pearson([]float64{1}, []float64{2}); err == nil {
+		t.Fatal("Pearson of one pair should error")
+	}
+	if _, err := Pearson([]float64{1, 2}, []float64{1, 2, 3}); err == nil {
+		t.Fatal("Pearson of mismatched lengths should error")
+	}
+	if _, err := Pearson([]float64{5, 5, 5}, []float64{1, 2, 3}); err == nil {
+		t.Fatal("Pearson with zero variance should error")
+	}
+}
+
+func TestMAPE(t *testing.T) {
+	got, err := MAPE([]float64{100, 200}, []float64{110, 180})
+	if err != nil || math.Abs(got-10) > 1e-12 {
+		t.Fatalf("MAPE = %v, %v, want 10", got, err)
+	}
+	// Zero observations are skipped, not divided by.
+	got, err = MAPE([]float64{0, 100}, []float64{5, 120})
+	if err != nil || math.Abs(got-20) > 1e-12 {
+		t.Fatalf("MAPE with zero obs = %v, %v, want 20", got, err)
+	}
+	if _, err := MAPE([]float64{0}, []float64{1}); err == nil {
+		t.Fatal("MAPE with no usable pairs should error")
+	}
+	if _, err := MAPE(nil, nil); err == nil {
+		t.Fatal("MAPE of empty input should error")
+	}
+}

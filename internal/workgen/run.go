@@ -1,0 +1,261 @@
+package workgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/api"
+)
+
+// EvalFunc is the transport the driver pushes scenarios through —
+// normally client.Client.Evaluate, but tests substitute stubs.
+type EvalFunc func(ctx context.Context, req api.EvaluateRequest) (*api.EvaluateResponse, error)
+
+// Observation is one request's outcome in an observed run.
+type Observation struct {
+	// Index is the arrival's position in the merged trace.
+	Index    int
+	Client   int
+	Scenario int
+	// At is the scheduled arrival offset in seconds.
+	At float64
+	// Latency is dispatch-to-completion: measured from the moment the
+	// open-loop pacer released the arrival, so waiting for a free
+	// worker under overload shows up as observed latency.
+	Latency time.Duration
+	// OK marks a decoded 2xx; Shed marks a 429 overload rejection
+	// (a budget-exhausted retry chain ending in 429 counts).
+	OK     bool
+	Shed   bool
+	Cached bool
+	// Code is the wire error code of a failed request, "" on success.
+	Code string
+}
+
+// RunResult is an observed load-generation run.
+type RunResult struct {
+	Trace *Trace
+	Obs   []Observation
+	// Wall is launch-to-last-completion wall time.
+	Wall time.Duration
+}
+
+// RunOptions shape the open-loop driver.
+type RunOptions struct {
+	// MaxInflight bounds concurrent requests; 0 means 256. Arrivals
+	// beyond the bound queue (and their queueing shows up as observed
+	// latency) rather than being dropped — the driver stays open-loop.
+	MaxInflight int
+}
+
+// replay pushes arrivals through eval on a pool of persistent workers,
+// pacing each dispatch at its scheduled offset. A warm worker pool
+// (rather than a goroutine per request) keeps the measurement overhead
+// flat: goroutine cold starts and their allocation churn otherwise
+// inflate observed latency well beyond the sequential service time.
+// The work queue holds every arrival, so the pacer never blocks — the
+// load stays open-loop and worker exhaustion is visible as latency.
+func replay(ctx context.Context, arrivals []Arrival, reqOf func(Arrival) api.EvaluateRequest, eval EvalFunc, opt RunOptions) ([]Observation, time.Duration, error) {
+	if len(arrivals) == 0 {
+		return nil, 0, nil
+	}
+	workers := opt.MaxInflight
+	if workers <= 0 {
+		workers = 256
+	}
+	if workers > len(arrivals) {
+		workers = len(arrivals)
+	}
+	obs := make([]Observation, len(arrivals))
+	dispatched := make([]time.Time, len(arrivals))
+	work := make(chan int, len(arrivals))
+	done := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := range work {
+				a := arrivals[i]
+				o := Observation{Index: i, Client: a.Client, Scenario: a.Scenario, At: a.At}
+				resp, err := eval(ctx, reqOf(a))
+				o.Latency = time.Since(dispatched[i])
+				if err == nil {
+					o.OK = true
+					o.Cached = resp.Cached
+				} else {
+					o.Code, o.Shed = classifyEvalErr(err)
+				}
+				obs[i] = o
+			}
+		}()
+	}
+
+	launched := 0
+	start := time.Now()
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+dispatch:
+	for i, a := range arrivals {
+		wait := time.Duration(a.At*float64(time.Second)) - time.Since(start)
+		if wait > 0 {
+			timer.Reset(wait)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				break dispatch
+			}
+		}
+		dispatched[i] = time.Now()
+		work <- i
+		launched++
+	}
+	close(work)
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	wall := time.Since(start)
+	if launched < len(arrivals) {
+		return obs[:launched], wall, fmt.Errorf("workgen: run canceled after dispatching %d/%d arrivals: %w",
+			launched, len(arrivals), ctx.Err())
+	}
+	return obs, wall, nil
+}
+
+// Run replays the trace against eval in real time: each arrival is
+// dispatched at its scheduled offset regardless of earlier requests'
+// fates (open loop). It returns when every dispatched request has
+// completed; ctx cancellation abandons undispatched arrivals but
+// drains in-flight ones.
+func Run(ctx context.Context, spec *Spec, tr *Trace, eval EvalFunc, opt RunOptions) (*RunResult, error) {
+	obs, wall, err := replay(ctx, tr.Arrivals, func(a Arrival) api.EvaluateRequest {
+		return spec.Clients[a.Client].Scenarios[a.Scenario].Request
+	}, eval, opt)
+	return &RunResult{Trace: tr, Obs: obs, Wall: wall}, err
+}
+
+// wireError matches the client SDK's *APIError structurally. workgen
+// cannot import repro/client: the serve handler imports workgen, and
+// the client's tests boot that handler, which would close an import
+// cycle through the test binary.
+type wireError interface {
+	error
+	HTTPStatus() int
+	ErrorCode() string
+}
+
+// classifyEvalErr maps a driver error onto (wire code, shed). A budget
+// exhausted by retries wraps the last attempt's APIError, so a retry
+// chain ending in overload still classifies as shed; everything without
+// a wire envelope (circuit open, connection failures) is "transport".
+func classifyEvalErr(err error) (string, bool) {
+	var we wireError
+	if errors.As(err, &we) {
+		return we.ErrorCode(), we.HTTPStatus() == http.StatusTooManyRequests
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return "deadline", false
+	}
+	return "transport", false
+}
+
+// Driver binds a compiled spec to an EvalFunc so runs and probes share
+// the request literals the spec compiled.
+type Driver struct {
+	Spec *Spec
+	Eval EvalFunc
+}
+
+// Run generates the spec's trace and replays it; see Run.
+func (d Driver) Run(ctx context.Context, opt RunOptions) (*RunResult, error) {
+	return Run(ctx, d.Spec, d.Spec.Trace(), d.Eval, opt)
+}
+
+// ProbeSamples is the per-scenario unloaded service-time calibration:
+// canonical scenario key → cache-warm request latencies in seconds.
+type ProbeSamples map[string][]float64
+
+// probeGapS paces top-up probe arrivals far apart (200/s total) so
+// they never queue behind each other.
+const probeGapS = 0.005
+
+// Probe measures each unique scenario's loaded service time in three
+// passes: one discarded cold request per scenario (the daemon's cold
+// solve fills its cache); a dress rehearsal replaying a short prefix
+// of the spec's own trace; and a paced top-up for any scenario the
+// rehearsal under-sampled. The rehearsal matters twice over: it goes
+// through the same worker-pool replay path as the real run (so the
+// pool's dispatch overhead is in every sample), and it reproduces the
+// spec's own arrival burstiness (so transient dispatch contention —
+// which a uniformly paced probe never sees — is in the calibration
+// too). A sequential or evenly spaced probe undershoots both effects
+// and poisons the prediction.
+func (d Driver) Probe(ctx context.Context, n int) (ProbeSamples, error) {
+	if n <= 0 {
+		n = 8
+	}
+	// One representative (client, scenario) per unique cache key.
+	type rep struct{ client, scenario int }
+	var reps []rep
+	seen := map[string]struct{}{}
+	for ci, c := range d.Spec.Clients {
+		for si, sc := range c.Scenarios {
+			if _, ok := seen[sc.Key]; ok {
+				continue
+			}
+			seen[sc.Key] = struct{}{}
+			reps = append(reps, rep{ci, si})
+		}
+	}
+
+	// Cold pass, sequential: fill the daemon's scenario cache.
+	for _, r := range reps {
+		sc := d.Spec.Clients[r.client].Scenarios[r.scenario]
+		if _, err := d.Eval(ctx, sc.Request); err != nil {
+			return nil, fmt.Errorf("workgen: probe %s (cold): %w", sc.Name, err)
+		}
+	}
+
+	// Rehearsal: a prefix of the spec's own schedule. Trace generation
+	// draws each client's gaps until the horizon, so shortening the
+	// horizon on a copy yields a bit-exact prefix of the run's streams.
+	rehearsal := *d.Spec
+	rehearsal.Duration = 4 * float64(n*len(reps)) / d.Spec.TotalRPS
+	if rehearsal.Duration > d.Spec.Duration {
+		rehearsal.Duration = d.Spec.Duration
+	}
+	arrivals := append([]Arrival(nil), rehearsal.Trace().Arrivals...)
+
+	// Top-up: rare scenarios may not reach n samples in a short
+	// rehearsal; append paced arrivals after the rehearsal window.
+	count := map[string]int{}
+	for _, a := range arrivals {
+		count[d.Spec.Clients[a.Client].Scenarios[a.Scenario].Key]++
+	}
+	at := rehearsal.Duration
+	for _, r := range reps {
+		sc := d.Spec.Clients[r.client].Scenarios[r.scenario]
+		for count[sc.Key] < n {
+			at += probeGapS
+			arrivals = append(arrivals, Arrival{At: at, Client: r.client, Scenario: r.scenario})
+			count[sc.Key]++
+		}
+	}
+
+	obs, _, err := replay(ctx, arrivals, func(a Arrival) api.EvaluateRequest {
+		return d.Spec.Clients[a.Client].Scenarios[a.Scenario].Request
+	}, d.Eval, RunOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("workgen: probe: %w", err)
+	}
+	samples := ProbeSamples{}
+	for _, o := range obs {
+		sc := d.Spec.Clients[o.Client].Scenarios[o.Scenario]
+		if !o.OK {
+			return nil, fmt.Errorf("workgen: probe %s: request failed with code %s", sc.Name, o.Code)
+		}
+		samples[sc.Key] = append(samples[sc.Key], o.Latency.Seconds())
+	}
+	return samples, nil
+}

@@ -1,0 +1,85 @@
+package workgen
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// Arrival is one scheduled request of a generated trace.
+type Arrival struct {
+	// At is the arrival offset from the start of the run, in seconds.
+	At float64
+	// Client and Scenario index into the compiled spec.
+	Client   int
+	Scenario int
+}
+
+// Trace is a merged, time-ordered arrival schedule plus its
+// determinism witness.
+type Trace struct {
+	Arrivals []Arrival
+	// Hash is the FNV-64a fold of every arrival's (time bits, client,
+	// scenario) in merged order: the same spec and seed must reproduce
+	// it bit-exactly, and any change to the generator that moves a
+	// single arrival shows up here.
+	Hash uint64
+}
+
+// HashHex renders the determinism witness the way reports carry it.
+func (t *Trace) HashHex() string { return fmt.Sprintf("%016x", t.Hash) }
+
+// Trace generates the spec's arrival schedule. Each client draws its
+// gaps and scenario picks from its own seeded stream (seed mixed with
+// the client index, splitmix-style, as internal/cluster does), so
+// adding or reordering clients never perturbs another client's
+// arrivals; the per-client streams are then merged by (time, client).
+func (s *Spec) Trace() *Trace {
+	tr := &Trace{}
+	for ci := range s.Clients {
+		c := &s.Clients[ci]
+		rng := trace.NewRNG((s.Seed + uint64(ci) + 1) * 0x9E3779B97F4A7C15)
+		t := 0.0
+		for {
+			t += c.Process.Next(rng)
+			if t >= s.Duration {
+				break
+			}
+			tr.Arrivals = append(tr.Arrivals, Arrival{
+				At:       t,
+				Client:   ci,
+				Scenario: c.draw(rng.Float64()),
+			})
+		}
+	}
+	// Per-client streams are time-sorted already; a stable sort keyed by
+	// (time, client) gives one deterministic merged order.
+	sort.SliceStable(tr.Arrivals, func(i, j int) bool {
+		a, b := tr.Arrivals[i], tr.Arrivals[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		return a.Client < b.Client
+	})
+	tr.Hash = hashArrivals(tr.Arrivals)
+	return tr
+}
+
+// hashArrivals folds the merged schedule into an FNV-64a witness.
+func hashArrivals(arrivals []Arrival) uint64 {
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= 1099511628211
+		}
+	}
+	for _, a := range arrivals {
+		mix(math.Float64bits(a.At))
+		mix(uint64(a.Client))
+		mix(uint64(a.Scenario))
+	}
+	return h
+}

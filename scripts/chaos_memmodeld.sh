@@ -39,16 +39,16 @@ echo "== start memmodeld with fault injection armed on $ADDR"
 PID=$!
 
 echo "== wait for health through the SDK"
-"$CTL" -addr "$BASE" -budget 15s health \
+"$CTL" health -server "$BASE" -timeout 15s \
   || { echo "daemon never became healthy:"; cat "$LOG"; exit 1; }
 grep -q 'FAULT INJECTION ARMED' "$LOG" \
   || { echo "daemon did not arm fault injection:"; cat "$LOG"; exit 1; }
 
 echo "== soak through the chaos wall (100% eventual success required)"
 metrics_out="$TMP/client_metrics.txt"
-"$CTL" -addr "$BASE" -budget 30s -max-attempts 10 \
+"$CTL" soak -server "$BASE" -timeout 30s -max-attempts 10 \
   -backoff-base 5ms -backoff-cap 200ms -seed 42 \
-  soak -n 120 -workers 4 >"$metrics_out" \
+  -n 120 -workers 4 >"$metrics_out" \
   || { echo "soak failed:"; cat "$LOG"; exit 1; }
 grep -q '^memmodel_client_successes_total 120$' "$metrics_out" \
   || { echo "client metrics missing full success count:"; cat "$metrics_out"; exit 1; }

@@ -20,7 +20,7 @@ go build ./...
 echo "== go test (tier 1)"
 go test ./...
 
-echo "== go test -race (sim + cluster + engine + experiments + simcache + serve + client)"
-go test -race -timeout 30m ./internal/sim/ ./internal/cluster/ ./internal/engine/ ./internal/experiments/ ./internal/simcache/ ./internal/serve/ ./client/
+echo "== go test -race (sim + cluster + engine + experiments + simcache + serve + client + workgen)"
+go test -race -timeout 30m ./internal/sim/ ./internal/cluster/ ./internal/engine/ ./internal/experiments/ ./internal/simcache/ ./internal/serve/ ./client/ ./internal/workgen/
 
 echo "verify: OK"
