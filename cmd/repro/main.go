@@ -13,7 +13,7 @@
 //
 //	repro [-out results] [-quick] [-only fig7,table2,...]
 //	      [-workers N] [-sim-workers N] [-sim-cache off|mem|disk]
-//	      [-timeout 30m] [-v]
+//	      [-timeout 30m] [-cpuprofile cpu.prof] [-memprofile mem.prof] [-v]
 //	repro -list [-json]
 package main
 
@@ -26,6 +26,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"syscall"
 
@@ -39,7 +40,11 @@ import (
 // with headroom.
 const simCacheCapacity = 4096
 
-func main() {
+// main delegates to run so the deferred profile writers flush on every
+// exit path (os.Exit skips defers).
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
 		out        = flag.String("out", "results", "output directory")
 		quick      = flag.Bool("quick", false, "use the fast (test-scale) configuration")
@@ -50,9 +55,41 @@ func main() {
 		simWorkers = flag.Int("sim-workers", 0, "concurrent measurement runs per fit grid (0 = GOMAXPROCS)")
 		simCache   = flag.String("sim-cache", "mem", "measurement cache: off, mem, or disk (disk persists under <out>/simcache)")
 		timeout    = flag.Duration("timeout", 0, "overall run deadline (0 = none)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 		verbose    = flag.Bool("v", false, "echo each artifact's text to stdout")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile reflects live data
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+			}
+		}()
+	}
 
 	scale := experiments.Full()
 	if *quick {
@@ -69,19 +106,19 @@ func main() {
 		c, err := simcache.New(simCacheCapacity, dir)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "repro: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		scale.SimCache = c
 	default:
 		fmt.Fprintf(os.Stderr, "repro: -sim-cache must be off, mem, or disk (got %q)\n", *simCache)
-		os.Exit(2)
+		return 2
 	}
 	suite := experiments.NewSuite(scale)
 	reg := suite.Registry()
 
 	if *list {
 		printList(reg, *asJSON)
-		return
+		return 0
 	}
 
 	var ids []string
@@ -92,7 +129,7 @@ func main() {
 	// simulation work starts.
 	if _, err := reg.Resolve(ids); err != nil {
 		fmt.Fprintf(os.Stderr, "repro: %v\n", err)
-		os.Exit(2)
+		return 2
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -106,7 +143,7 @@ func main() {
 	sink, err := engine.NewDirSink(*out)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "repro: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
 
 	failures := 0
@@ -142,12 +179,12 @@ func main() {
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "repro: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
 	sink.RecordRun(rr, *workers)
 	if err := sink.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "repro: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
 	fmt.Printf("%d experiments in %.1fs (%d workers, peak parallelism %d) -> %s/manifest.json\n",
 		len(rr.Experiments), rr.Wall.Seconds(), *workers, rr.MaxParallel, *out)
@@ -167,8 +204,9 @@ func main() {
 		}
 	}
 	if failures > 0 || rr.Failed() > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 // printList renders the registry: the ids accepted by -only, with paper

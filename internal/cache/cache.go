@@ -160,67 +160,126 @@ func (c Counters) WBR() float64 {
 	return float64(c.MemWritebacks+c.MemNTWrites) / float64(reads)
 }
 
-type entry struct {
-	tag     uint64
-	valid   bool
-	dirty   bool
-	lru     uint64
-	readyAt units.Duration // for in-flight prefetch fills at the LLC
-	pref    bool           // line was brought in by the prefetcher and not yet demanded
-}
+// Per-way metadata bits, packed into one byte per way so the find and
+// victim scans touch dense arrays.
+const (
+	flagValid uint8 = 1 << iota
+	flagDirty
+	flagPref // line was brought in by the prefetcher and not yet demanded
+)
 
+// invalidTag marks an invalid way in the tags array, so the find scan is
+// a pure tag compare with no second flags load. It can never collide
+// with a live tag: tags are addr/LineSize, and with LineSize ≥ 2 (every
+// real geometry; DefaultConfig uses 64) no uint64 address divides to
+// ^uint64(0). The flags valid bit is kept in lockstep (invalidate is the
+// only clear path) for the dirty/prefetch state machine and invariants.
+const invalidTag = ^uint64(0)
+
+// level stores its ways struct-of-arrays: the find/victim scans that
+// dominate simulation time walk a dense tags slice (a whole 8-way set of
+// tags is a single cache line) with the cold per-way state (readyAt)
+// split off, instead of striding over 48-byte per-way structs.
 type level struct {
-	cfg      LevelConfig
-	sets     uint64
-	assoc    int
-	entries  []entry // sets × assoc
+	cfg   LevelConfig
+	sets  uint64
+	mask  uint64 // sets-1 when sets is a power of two
+	pow2  bool
+	assoc int
+	// Parallel arrays of sets × assoc ways, indexed set*assoc+way.
+	tags     []uint64
+	flags    []uint8 // flagValid | flagDirty | flagPref
+	lru      []uint64
+	readyAt  []units.Duration // in-flight prefetch arrival time
 	lruClock uint64
 }
 
 func newLevel(cfg LevelConfig, lineSize units.Bytes) *level {
 	sets := uint64(cfg.Size) / (uint64(lineSize) * uint64(cfg.Assoc))
-	return &level{
+	n := sets * uint64(cfg.Assoc)
+	l := &level{
 		cfg:     cfg,
 		sets:    sets,
 		assoc:   cfg.Assoc,
-		entries: make([]entry, sets*uint64(cfg.Assoc)),
+		tags:    make([]uint64, n),
+		flags:   make([]uint8, n),
+		lru:     make([]uint64, n),
+		readyAt: make([]units.Duration, n),
 	}
+	for i := range l.tags {
+		l.tags[i] = invalidTag
+	}
+	if sets&(sets-1) == 0 {
+		l.pow2 = true
+		l.mask = sets - 1
+	}
+	return l
 }
 
-func (l *level) set(line uint64) []entry {
-	s := line % l.sets
-	return l.entries[s*uint64(l.assoc) : (s+1)*uint64(l.assoc)]
+// reset restores the level to its just-built state, reusing its arrays.
+func (l *level) reset() {
+	for i := range l.tags {
+		l.tags[i] = invalidTag
+	}
+	clear(l.flags)
+	clear(l.lru)
+	clear(l.readyAt)
+	l.lruClock = 0
 }
 
-// find returns the way holding line, or nil.
-func (l *level) find(line uint64) *entry {
-	set := l.set(line)
-	for i := range set {
-		if set[i].valid && set[i].tag == line {
-			return &set[i]
+// invalidate clears way i: valid bit off, tag swapped for the sentinel
+// so the find scan skips it without consulting flags.
+func (l *level) invalidate(i int) {
+	l.flags[i] &^= flagValid
+	l.tags[i] = invalidTag
+}
+
+// setBase returns the index of line's set's first way. Every default
+// geometry has a power-of-two set count, masking away the division.
+func (l *level) setBase(line uint64) uint64 {
+	if l.pow2 {
+		return (line & l.mask) * uint64(l.assoc)
+	}
+	return (line % l.sets) * uint64(l.assoc)
+}
+
+// find returns the way index holding line, or -1. Way order and the
+// first-match rule are what the pre-SoA []entry scan used, so replacement
+// behaviour is bit-identical (cache/refhier_test.go witnesses this).
+// Invalid ways hold invalidTag, so the scan needs no validity load.
+func (l *level) find(line uint64) int {
+	base := l.setBase(line)
+	tags := l.tags[base : base+uint64(l.assoc)]
+	for i := range tags {
+		if tags[i] == line {
+			return int(base) + i
 		}
 	}
-	return nil
+	return -1
 }
 
-// victim returns the way to fill for line: an invalid way if any,
-// otherwise the LRU way. The returned entry still holds the victim's
-// state; the caller handles its writeback before overwriting.
-func (l *level) victim(line uint64) *entry {
-	set := l.set(line)
-	var v *entry
-	for i := range set {
-		if !set[i].valid {
-			return &set[i]
+// victim returns the way index to fill for line: the first invalid way if
+// any, otherwise the first way with the strictly smallest LRU stamp. The
+// way still holds the victim's state; the caller handles its writeback
+// before overwriting. Invalidity is read off the tag sentinel, keeping
+// the scan on the same two arrays the hit path already pulled in.
+func (l *level) victim(line uint64) int {
+	base := l.setBase(line)
+	tags := l.tags[base : base+uint64(l.assoc)]
+	lru := l.lru[base : base+uint64(l.assoc)]
+	vi := 0
+	for i := range tags {
+		if tags[i] == invalidTag {
+			return int(base) + i
 		}
-		if v == nil || set[i].lru < v.lru {
-			v = &set[i]
+		if lru[i] < lru[vi] {
+			vi = i
 		}
 	}
-	return v
+	return int(base) + vi
 }
 
-func (l *level) touch(e *entry) {
+func (l *level) touch(i int) {
 	l.lruClock++
-	e.lru = l.lruClock
+	l.lru[i] = l.lruClock
 }

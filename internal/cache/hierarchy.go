@@ -56,15 +56,79 @@ func (h *Hierarchy) Config() Config { return h.cfg }
 
 // Counters returns a snapshot of the accumulated statistics.
 func (h *Hierarchy) Counters() Counters {
-	c := h.ctr
-	c.Levels = append([]LevelCounters(nil), h.ctr.Levels...)
+	var c Counters
+	h.CountersInto(&c)
 	return c
 }
 
+// CountersInto copies the accumulated statistics into dst, reusing
+// dst.Levels when it has capacity — zero allocations in steady state
+// (the machine simulator snapshots every core every measurement).
+func (h *Hierarchy) CountersInto(dst *Counters) {
+	levels := dst.Levels
+	*dst = h.ctr
+	if cap(levels) < len(h.ctr.Levels) {
+		levels = make([]LevelCounters, len(h.ctr.Levels))
+	}
+	levels = levels[:len(h.ctr.Levels)]
+	copy(levels, h.ctr.Levels)
+	dst.Levels = levels
+}
+
 // ResetCounters clears statistics, keeping cache contents (for measuring
-// after warm-up).
+// after warm-up). The Levels slice is reused, not reallocated.
 func (h *Hierarchy) ResetCounters() {
-	h.ctr = Counters{Levels: make([]LevelCounters, len(h.levels))}
+	levels := h.ctr.Levels
+	clear(levels)
+	h.ctr = Counters{Levels: levels}
+}
+
+// Reset restores the hierarchy to its just-built state for cfg — empty
+// levels, zero counters, untrained prefetcher — reusing every allocation
+// whose geometry still fits. A machine pool Resets hierarchies thousands
+// of times per experiment suite; behaviour after Reset is bit-identical
+// to a fresh New (asserted in reset_test.go).
+func (h *Hierarchy) Reset(cfg Config) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	sameGeom := cfg.LineSize == h.cfg.LineSize && len(cfg.Levels) == len(h.cfg.Levels)
+	if sameGeom {
+		for i := range cfg.Levels {
+			if cfg.Levels[i].Size != h.cfg.Levels[i].Size || cfg.Levels[i].Assoc != h.cfg.Levels[i].Assoc {
+				sameGeom = false
+				break
+			}
+		}
+	}
+	if sameGeom {
+		for i, l := range h.levels {
+			l.cfg = cfg.Levels[i]
+			l.reset()
+		}
+	} else {
+		h.levels = h.levels[:0]
+		for _, lc := range cfg.Levels {
+			h.levels = append(h.levels, newLevel(lc, cfg.LineSize))
+		}
+	}
+	levels := h.ctr.Levels
+	if cap(levels) < len(cfg.Levels) {
+		levels = make([]LevelCounters, len(cfg.Levels))
+	}
+	levels = levels[:len(cfg.Levels)]
+	clear(levels)
+	h.ctr = Counters{Levels: levels}
+	switch {
+	case !cfg.Prefetch.Enabled:
+		h.pf = nil
+	case h.pf != nil && len(h.pf.streams) == cfg.Prefetch.Streams:
+		h.pf.reset(cfg.Prefetch)
+	default:
+		h.pf = newPrefetcher(cfg.Prefetch)
+	}
+	h.cfg = cfg
+	return nil
 }
 
 func (h *Hierarchy) line(addr uint64) uint64 { return addr / uint64(h.cfg.LineSize) }
@@ -78,8 +142,8 @@ func (h *Hierarchy) Access(now units.Duration, ref trace.Ref, freq units.Hertz) 
 		// Streaming store: write combining straight to memory; invalidate
 		// any cached copy (no writeback — the store overwrites the line).
 		for _, l := range h.levels {
-			if e := l.find(line); e != nil {
-				e.valid = false
+			if i := l.find(line); i >= 0 {
+				l.invalidate(i)
 			}
 		}
 		h.mem.Access(now, ref.Addr, memsys.Write)
@@ -89,33 +153,38 @@ func (h *Hierarchy) Access(now units.Duration, ref trace.Ref, freq units.Hertz) 
 
 	for li, l := range h.levels {
 		h.ctr.Levels[li].Accesses++
-		e := l.find(line)
-		if e == nil {
+		ei := l.find(line)
+		if ei < 0 {
 			continue
 		}
 		// Hit at level li.
 		h.ctr.Levels[li].Hits++
-		l.touch(e)
+		l.touch(ei)
 		out := Outcome{HitLevel: li}
-		if e.pref {
+		if l.flags[ei]&flagPref != 0 {
 			// First demand touch of a prefetched line: count it once and
 			// clear the flag on every level holding the fill (prefetch
 			// promotes to the L2 as well).
 			for lj := li; lj < len(h.levels); lj++ {
-				if ej := h.levels[lj].find(line); ej != nil {
-					ej.pref = false
+				lv := h.levels[lj]
+				ej := ei
+				if lj != li {
+					ej = lv.find(line)
+				}
+				if ej >= 0 {
+					lv.flags[ej] &^= flagPref
 				}
 			}
 			h.ctr.PrefHits++
 			out.PrefetchHit = true
-			if e.readyAt > now {
+			if ready := l.readyAt[ei]; ready > now {
 				// In-flight prefetch: expose the remaining latency.
 				h.ctr.PrefLate++
-				out.Latency = e.readyAt - now
+				out.Latency = ready - now
 			}
 		}
 		if !ref.Write {
-			out.Latency += h.levels[li].cfg.HitLatency.Duration(freq)
+			out.Latency += l.cfg.HitLatency.Duration(freq)
 			if li == 0 {
 				out.Latency = 0 // L1 hit latency lives in BaseCPI
 			}
@@ -126,8 +195,13 @@ func (h *Hierarchy) Access(now units.Duration, ref trace.Ref, freq units.Hertz) 
 			// LLC eviction's recall (see evict) can drop the inner copies
 			// without a separate writeback.
 			for lj := li; lj < len(h.levels); lj++ {
-				if ej := h.levels[lj].find(line); ej != nil {
-					ej.dirty = true
+				lv := h.levels[lj]
+				ej := ei
+				if lj != li {
+					ej = lv.find(line)
+				}
+				if ej >= 0 {
+					lv.flags[ej] |= flagDirty
 				}
 			}
 			out.Latency = 0
@@ -167,10 +241,11 @@ func (h *Hierarchy) Access(now units.Duration, ref trace.Ref, freq units.Hertz) 
 // statistics meaningful.
 func (h *Hierarchy) fillUpward(now units.Duration, line uint64, upTo int, write bool) {
 	for li := upTo - 1; li >= 0; li-- {
-		if e := h.levels[li].find(line); e != nil {
-			h.levels[li].touch(e)
+		l := h.levels[li]
+		if ei := l.find(line); ei >= 0 {
+			l.touch(ei)
 			if write {
-				e.dirty = true
+				l.flags[ei] |= flagDirty
 			}
 			continue
 		}
@@ -184,14 +259,25 @@ func (h *Hierarchy) fillUpward(now units.Duration, line uint64, upTo int, write 
 func (h *Hierarchy) insert(now units.Duration, line uint64, li int, dirty, pref bool, readyAt units.Duration) {
 	l := h.levels[li]
 	v := l.victim(line)
-	if v.valid {
-		h.evict(now, v, li)
+	if l.flags[v]&flagValid != 0 {
+		h.evict(now, li, v)
 	}
-	*v = entry{tag: line, valid: true, dirty: dirty, pref: pref, readyAt: readyAt}
+	f := flagValid
+	if dirty {
+		f |= flagDirty
+	}
+	if pref {
+		f |= flagPref
+	}
+	l.tags[v] = line
+	l.flags[v] = f
+	l.readyAt[v] = readyAt
 	l.touch(v)
 }
 
-func (h *Hierarchy) evict(now units.Duration, v *entry, li int) {
+func (h *Hierarchy) evict(now units.Duration, li, v int) {
+	l := h.levels[li]
+	tag := l.tags[v]
 	if li == len(h.levels)-1 {
 		// Inclusive LLC: evicting a line recalls it from the inner levels.
 		// Write hits mark every cached copy dirty, so the LLC copy already
@@ -201,29 +287,30 @@ func (h *Hierarchy) evict(now units.Duration, v *entry, li int) {
 		// same fill is written back twice (MemWritebacks would exceed
 		// memory fills, breaking writeback conservation).
 		for lj := 0; lj < li; lj++ {
-			if e := h.levels[lj].find(v.tag); e != nil {
-				e.valid = false
+			inner := h.levels[lj]
+			if ej := inner.find(tag); ej >= 0 {
+				inner.invalidate(ej)
 			}
 		}
 	}
-	if !v.dirty {
-		v.valid = false
+	if l.flags[v]&flagDirty == 0 {
+		l.invalidate(v)
 		return
 	}
 	h.ctr.Levels[li].Writebacks++
 	if li == len(h.levels)-1 {
 		// LLC: write back to memory.
-		h.mem.Access(now, v.tag*uint64(h.cfg.LineSize), memsys.Write)
+		h.mem.Access(now, tag*uint64(h.cfg.LineSize), memsys.Write)
 		h.ctr.MemWritebacks++
 	} else {
 		// Push dirty data down one level.
-		if e := h.levels[li+1].find(v.tag); e != nil {
-			e.dirty = true
+		if ej := h.levels[li+1].find(tag); ej >= 0 {
+			h.levels[li+1].flags[ej] |= flagDirty
 		} else {
-			h.insert(now, v.tag, li+1, true, false, 0)
+			h.insert(now, tag, li+1, true, false, 0)
 		}
 	}
-	v.valid = false
+	l.invalidate(v)
 }
 
 // prefetchFill is called by the prefetcher to bring line into the LLC
@@ -231,7 +318,7 @@ func (h *Hierarchy) evict(now units.Duration, v *entry, li int) {
 // an in-flight arrival time.
 func (h *Hierarchy) prefetchFill(now units.Duration, line uint64) {
 	llc := len(h.levels) - 1
-	if h.levels[llc].find(line) != nil {
+	if h.levels[llc].find(line) >= 0 {
 		return // already present or in flight
 	}
 	res := h.mem.Access(now, line*uint64(h.cfg.LineSize), memsys.Read)

@@ -29,6 +29,14 @@ func newPrefetcher(cfg PrefetchConfig) *prefetcher {
 	return &prefetcher{cfg: cfg, streams: make([]stream, cfg.Streams)}
 }
 
+// reset restores the just-built state (all streams untrained), reusing
+// the stream table. The caller guarantees len(streams) == cfg.Streams.
+func (p *prefetcher) reset(cfg PrefetchConfig) {
+	p.cfg = cfg
+	clear(p.streams)
+	p.clock = 0
+}
+
 // observe trains on a demand access to line and issues prefetches through
 // h when a stream is established.
 func (p *prefetcher) observe(h *Hierarchy, now units.Duration, line uint64) {

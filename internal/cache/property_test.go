@@ -98,13 +98,15 @@ func TestInclusionInvariant(t *testing.T) {
 	}
 	// Walk L1 and L2 contents; every valid line must be found downward.
 	for li := 0; li < len(h.levels)-1; li++ {
-		for _, e := range h.levels[li].entries {
-			if !e.valid {
+		lv := h.levels[li]
+		for wi := range lv.tags {
+			if lv.flags[wi]&flagValid == 0 {
 				continue
 			}
+			tag, dirty := lv.tags[wi], lv.flags[wi]&flagDirty != 0
 			found := false
 			for lj := li + 1; lj < len(h.levels); lj++ {
-				if h.levels[lj].find(e.tag) != nil {
+				if h.levels[lj].find(tag) >= 0 {
 					found = true
 					break
 				}
@@ -117,8 +119,8 @@ func TestInclusionInvariant(t *testing.T) {
 				// orphans still write back through the dirty-all-levels
 				// marking. Verify the orphan is at least tracked dirty
 				// if it was written.
-				if e.dirty {
-					t.Fatalf("level %d holds dirty orphan line %d with no downstream copy", li, e.tag)
+				if dirty {
+					t.Fatalf("level %d holds dirty orphan line %d with no downstream copy", li, tag)
 				}
 			}
 		}

@@ -138,6 +138,19 @@ func (c *Core) ResetCounters() {
 	c.caches.ResetCounters()
 }
 
+// Reset rewinds the thread to time zero with fresh counters under a new
+// configuration, keeping its cache hierarchy attached (the machine
+// Resets the hierarchy separately, since only it knows the cache config).
+func (c *Core) Reset(cfg Config) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	c.cfg = cfg
+	c.now = 0
+	c.ctr = Counters{}
+	return nil
+}
+
 // SetFrequency changes the core clock (the OS-governor knob of §V.A).
 func (c *Core) SetFrequency(f units.Hertz) { c.cfg.Freq = f }
 

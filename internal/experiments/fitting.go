@@ -47,10 +47,32 @@ func machineConfig(w workloads.Workload, sc ScalingConfig) sim.Config {
 	return cfg
 }
 
+// machinePool recycles simulated machines across measurement runs: a
+// Machine.Reset reuses the memory simulator, per-thread cache arrays,
+// block buffers and PMU sampler, so a pooled machine costs generator
+// state instead of full construction — the dominant allocation source of
+// the fit grids. Reset restores construction state bit-exactly (asserted
+// in sim/reset_test.go), even after a cancelled run, so pooled machines
+// are interchangeable with fresh ones and cache keys (computed from the
+// config alone) are unaffected.
+var machinePool sync.Pool
+
+// acquireMachine Resets a pooled machine for cfg, or builds a fresh one.
+// A config Reset rejects is handed to sim.New so the error surfaces from
+// the same construction path.
+func acquireMachine(cfg sim.Config, name string, factory sim.GeneratorFactory) (*sim.Machine, error) {
+	if m, _ := machinePool.Get().(*sim.Machine); m != nil {
+		if err := m.Reset(cfg, name, factory); err == nil {
+			return m, nil
+		}
+	}
+	return sim.New(cfg, name, factory)
+}
+
 // measureOne runs one simulated machine — or replays it from the
 // content-addressed measurement cache when the scale carries one. Every
-// measurement path in the package funnels through here, so cache keying
-// and hit/miss telemetry live in one place.
+// measurement path in the package funnels through here, so cache keying,
+// hit/miss telemetry, and machine pooling live in one place.
 func measureOne(ctx context.Context, cfg sim.Config, name string, factory sim.GeneratorFactory, scale Scale) (sim.Measurement, error) {
 	c := scale.SimCache
 	var key string
@@ -62,11 +84,15 @@ func measureOne(ctx context.Context, cfg sim.Config, name string, factory sim.Ge
 		}
 		engine.RecordSimCacheMiss(ctx)
 	}
-	m, err := sim.New(cfg, name, factory)
+	m, err := acquireMachine(cfg, name, factory)
 	if err != nil {
 		return sim.Measurement{}, err
 	}
 	meas, err := m.Run(ctx, scale.WarmupInstr, scale.MeasureInstr)
+	// Measurements never alias machine internals (Series and counters are
+	// copied out), so the machine can be recycled immediately — including
+	// after a cancelled run, which the next Reset wipes.
+	machinePool.Put(m)
 	if err != nil {
 		return sim.Measurement{}, err
 	}
@@ -76,6 +102,20 @@ func measureOne(ctx context.Context, cfg sim.Config, name string, factory sim.Ge
 		_ = c.Put(key, meas)
 	}
 	return meas, nil
+}
+
+// fitPointPool recycles the per-grid FitPoint staging slices;
+// model.FitScaling copies the points it retains, so the staging buffer
+// is a true temporary.
+var fitPointPool = sync.Pool{New: func() any { return new([]model.FitPoint) }}
+
+func borrowFitPoints(n int) *[]model.FitPoint {
+	p := fitPointPool.Get().(*[]model.FitPoint)
+	if cap(*p) < n {
+		*p = make([]model.FitPoint, n)
+	}
+	*p = (*p)[:n]
+	return p
 }
 
 // runGrid evaluates n independent measurement runs concurrently over a
@@ -161,11 +201,12 @@ func FitWorkload(ctx context.Context, w workloads.Workload, configs []ScalingCon
 	if err != nil {
 		return model.Fit{}, nil, err
 	}
-	points := make([]model.FitPoint, len(runs))
+	points := borrowFitPoints(len(runs))
+	defer fitPointPool.Put(points)
 	for i, m := range runs {
-		points[i] = fitPoint(m)
+		(*points)[i] = fitPoint(m)
 	}
-	fit, err := model.FitScaling(w.Name(), points)
+	fit, err := model.FitScaling(w.Name(), *points)
 	if err != nil {
 		return model.Fit{}, nil, err
 	}
@@ -202,11 +243,12 @@ func fitWithoutPrefetch(ctx context.Context, name string, scale Scale) (model.Fi
 	if err != nil {
 		return model.Fit{}, err
 	}
-	points := make([]model.FitPoint, len(runs))
+	points := borrowFitPoints(len(runs))
+	defer fitPointPool.Put(points)
 	for i, m := range runs {
-		points[i] = fitPoint(m)
+		(*points)[i] = fitPoint(m)
 	}
-	return model.FitScaling(name+"-nopf", points)
+	return model.FitScaling(name+"-nopf", *points)
 }
 
 // DefaultCacheConfig is re-exported for tools that want the measurement

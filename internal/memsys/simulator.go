@@ -97,6 +97,14 @@ type Simulator struct {
 // conflict model; deterministic per simulator.
 type rngState uint64
 
+// rngSeed is the fixed construction-time state of the bank-model RNG;
+// Reset restores it so a reused simulator replays a fresh one exactly.
+const rngSeed rngState = 0x9E3779B97F4A7C15
+
+// idleGapNS is the gapEWMA initial value: effectively idle until traffic
+// arrives.
+const idleGapNS = 1e6
+
 func (r *rngState) next() float64 {
 	x := uint64(*r)
 	x ^= x >> 12
@@ -117,13 +125,42 @@ func NewSimulator(cfg Config) (*Simulator, error) {
 		backlog:  make([]units.Duration, cfg.Channels),
 		lastOp:   make([]Op, cfg.Channels),
 		gapEWMA:  make([]float64, cfg.Channels),
-		rng:      rngState(0x9E3779B97F4A7C15),
+		rng:      rngSeed,
 		transfer: cfg.Grade.LineTransferTime(cfg.LineSize),
 	}
 	for i := range s.gapEWMA {
-		s.gapEWMA[i] = 1e6 // effectively idle until traffic arrives
+		s.gapEWMA[i] = idleGapNS
 	}
 	return s, nil
+}
+
+// Reset restores the simulator to its just-built state for cfg — idle
+// channels, reseeded bank RNG, zero counters — reusing the per-channel
+// slices when the channel count is unchanged. A reused simulator is
+// bit-identical to a fresh NewSimulator (sim/reset_test.go drives this
+// through the whole machine).
+func (s *Simulator) Reset(cfg Config) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if cfg.Channels == len(s.lastSeen) {
+		clear(s.lastSeen)
+		clear(s.backlog)
+		clear(s.lastOp)
+	} else {
+		s.lastSeen = make([]units.Duration, cfg.Channels)
+		s.backlog = make([]units.Duration, cfg.Channels)
+		s.lastOp = make([]Op, cfg.Channels)
+		s.gapEWMA = make([]float64, cfg.Channels)
+	}
+	for i := range s.gapEWMA {
+		s.gapEWMA[i] = idleGapNS
+	}
+	s.rng = rngSeed
+	s.counters = Counters{}
+	s.transfer = cfg.Grade.LineTransferTime(cfg.LineSize)
+	s.cfg = cfg
+	return nil
 }
 
 // Config returns the simulator's configuration.

@@ -2,6 +2,7 @@ package model
 
 import (
 	"errors"
+	"sync"
 
 	"repro/internal/regress"
 	"repro/internal/stats"
@@ -44,6 +45,25 @@ type Fit struct {
 	Points []FitPoint
 }
 
+// fitScratch holds the six parallel regression columns FitScaling builds
+// from its points. Neither regress.Fit nor stats.Mean retains its input,
+// so the columns are true temporaries — pooled, they make the fit itself
+// allocation-free apart from the retained Points copy.
+type fitScratch struct {
+	xs, ys, mpkis, wbrs, iopis, ioszs []float64
+}
+
+func (s *fitScratch) resize(n int) {
+	for _, col := range []*[]float64{&s.xs, &s.ys, &s.mpkis, &s.wbrs, &s.iopis, &s.ioszs} {
+		if cap(*col) < n {
+			*col = make([]float64, n)
+		}
+		*col = (*col)[:n]
+	}
+}
+
+var fitScratchPool = sync.Pool{New: func() any { return new(fitScratch) }}
+
 // FitScaling estimates CPI_cache (intercept) and BF (slope) from measured
 // points, per §V.A: "We estimate CPI_cache and BF in Eq. 1 by obtaining a
 // fit for these data points." MPKI/WBR/IOPI/IOSZ are averaged across
@@ -53,12 +73,11 @@ func FitScaling(name string, points []FitPoint) (Fit, error) {
 	if len(points) < 2 {
 		return Fit{}, errors.New("model: FitScaling needs at least two points")
 	}
-	xs := make([]float64, len(points))
-	ys := make([]float64, len(points))
-	mpkis := make([]float64, len(points))
-	wbrs := make([]float64, len(points))
-	iopis := make([]float64, len(points))
-	ioszs := make([]float64, len(points))
+	s := fitScratchPool.Get().(*fitScratch)
+	defer fitScratchPool.Put(s)
+	s.resize(len(points))
+	xs, ys := s.xs, s.ys
+	mpkis, wbrs, iopis, ioszs := s.mpkis, s.wbrs, s.iopis, s.ioszs
 	for i, pt := range points {
 		xs[i] = pt.X()
 		ys[i] = pt.CPI

@@ -59,6 +59,20 @@ func NewSampler(interval units.Duration) *Sampler {
 	return &Sampler{interval: interval, series: Series{Interval: interval}}
 }
 
+// Reset returns the sampler to its just-built state with a new interval,
+// retaining the sample storage so a reused sampler appends into already-
+// grown capacity instead of re-paying the per-sample slice growth every
+// run (the batched-sampling half of the zero-alloc measurement path;
+// Series() copies samples out, so retained storage never aliases a
+// returned Measurement).
+func (s *Sampler) Reset(interval units.Duration) {
+	s.interval = interval
+	s.last = Snapshot{}
+	s.lastTime = 0
+	s.started = false
+	s.series = Series{Interval: interval, Samples: s.series.Samples[:0]}
+}
+
 // Enabled reports whether the sampler records anything.
 func (s *Sampler) Enabled() bool { return s != nil && s.interval > 0 }
 

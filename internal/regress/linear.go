@@ -145,10 +145,12 @@ func Residuals(l Line, xs, ys []float64) []float64 {
 
 // MaxAbsResidual returns the largest |residual| of the fit, a convenient
 // validation bound (Table 3 reports per-point error within a few percent).
+// Unlike Residuals it allocates nothing, so hot validation loops can call
+// it per fit.
 func MaxAbsResidual(l Line, xs, ys []float64) float64 {
 	m := 0.0
-	for _, r := range Residuals(l, xs, ys) {
-		if a := math.Abs(r); a > m {
+	for i := range xs {
+		if a := math.Abs(ys[i] - l.Eval(xs[i])); a > m {
 			m = a
 		}
 	}

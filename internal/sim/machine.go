@@ -134,7 +134,20 @@ type Machine struct {
 	// reset, maintained incrementally by step (RunBlock retires exactly
 	// Block.Instructions per call).
 	instr uint64
+
+	// sampler is reused across Runs (Reset keeps its sample storage), and
+	// scratch is the per-core cache-counter snapshot buffer measure()
+	// aggregates through — both part of the zero-alloc steady state.
+	sampler *pmu.Sampler
+	scratch cache.Counters
 }
+
+// Workload seeding: thread i's generator gets Seed + i*seedStride, with
+// defaultSeed standing in for a zero Seed.
+const (
+	defaultSeed uint64 = 0xC0FFEE
+	seedStride  uint64 = 0x9E37
+)
 
 // ioSink adapts the shared memory simulator to cpu.IOSink: DMA writes the
 // incoming data to successive memory lines, consuming channel bandwidth
@@ -163,30 +176,86 @@ func New(cfg Config, name string, factory GeneratorFactory) (*Machine, error) {
 	if err != nil {
 		return nil, err
 	}
-	m := &Machine{cfg: cfg, mem: mem, name: name, ioAddr: 1 << 44}
+	m := &Machine{mem: mem, ioAddr: 1 << 44}
+	if err := m.Reset(cfg, name, factory); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Reset rebuilds the machine in place for a new run — typically a
+// different workload, thread count, frequency, or memory grade — reusing
+// the memory simulator, per-thread cores/hierarchies, block buffers, and
+// heap wherever geometry allows. A Reset machine is bit-identical to a
+// freshly constructed one (reset_test.go asserts this measurement-for-
+// measurement), which is what lets internal/experiments pool machines
+// across grid points instead of re-paying construction per measurement.
+func (m *Machine) Reset(cfg Config, name string, factory GeneratorFactory) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if factory == nil {
+		return errors.New("sim: nil generator factory")
+	}
+	if err := m.mem.Reset(cfg.Mem); err != nil {
+		return err
+	}
+	if cfg.Threads > len(m.cores) && cfg.Threads <= cap(m.cores) {
+		// Recover cores parked beyond len by an earlier shrink.
+		m.cores = m.cores[:cfg.Threads]
+	}
 	seed := cfg.Seed
 	if seed == 0 {
-		seed = 0xC0FFEE
+		seed = defaultSeed
 	}
+	m.gens = m.gens[:0]
 	for t := 0; t < cfg.Threads; t++ {
-		h, err := cache.New(cfg.Cache, mem)
-		if err != nil {
-			return nil, err
+		if t < len(m.cores) && m.cores[t] != nil {
+			if err := m.cores[t].Caches().Reset(cfg.Cache); err != nil {
+				return err
+			}
+			if err := m.cores[t].Reset(cfg.Core); err != nil {
+				return err
+			}
+		} else {
+			h, err := cache.New(cfg.Cache, m.mem)
+			if err != nil {
+				return err
+			}
+			core, err := cpu.New(cfg.Core, h, ioSink{m})
+			if err != nil {
+				return err
+			}
+			if t < len(m.cores) {
+				m.cores[t] = core
+			} else {
+				m.cores = append(m.cores, core)
+			}
 		}
-		core, err := cpu.New(cfg.Core, h, ioSink{m})
-		if err != nil {
-			return nil, err
-		}
-		m.cores = append(m.cores, core)
-		m.gens = append(m.gens, factory.NewGenerator(t, seed+uint64(t)*0x9E37))
+		m.gens = append(m.gens, factory.NewGenerator(t, seed+uint64(t)*seedStride))
 	}
-	m.blocks = make([]trace.Block, cfg.Threads)
-	m.heap = make([]int, cfg.Threads)
+	m.cores = m.cores[:cfg.Threads]
+	if cap(m.blocks) >= cfg.Threads {
+		m.blocks = m.blocks[:cfg.Threads]
+	} else {
+		blocks := make([]trace.Block, cfg.Threads)
+		copy(blocks, m.blocks) // keep grown Refs capacity
+		m.blocks = blocks
+	}
+	if cap(m.heap) >= cfg.Threads {
+		m.heap = m.heap[:cfg.Threads]
+	} else {
+		m.heap = make([]int, cfg.Threads)
+	}
 	for t := range m.heap {
 		// All cores start at time zero, so index order is a valid heap.
 		m.heap[t] = t
 	}
-	return m, nil
+	m.cfg = cfg
+	m.name = name
+	m.instr = 0
+	m.ioLines = 0
+	return nil
 }
 
 // Config returns the machine's configuration.
@@ -293,7 +362,13 @@ func (m *Machine) Run(ctx context.Context, warmupInstr, measureInstr uint64) (Me
 	m.instr = 0
 
 	start := m.minNow()
-	sampler := pmu.NewSampler(m.cfg.SampleInterval)
+	sampler := m.sampler
+	if sampler == nil {
+		sampler = pmu.NewSampler(m.cfg.SampleInterval)
+		m.sampler = sampler
+	} else {
+		sampler.Reset(m.cfg.SampleInterval)
+	}
 	sampler.Record(start, m.snapshot(start))
 	next := start + m.cfg.SampleInterval
 
@@ -329,7 +404,8 @@ func (m *Machine) measure(start units.Duration, sampler *pmu.Sampler) Measuremen
 		idle += ctr.IdleNS
 		ioBytes += ctr.IOBytes
 		ioEvents += ctr.IOEvents
-		cc := c.Caches().Counters()
+		c.Caches().CountersInto(&m.scratch)
+		cc := &m.scratch
 		for i := range agg.Levels {
 			agg.Levels[i].Accesses += cc.Levels[i].Accesses
 			agg.Levels[i].Hits += cc.Levels[i].Hits

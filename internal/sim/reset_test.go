@@ -1,0 +1,129 @@
+package sim
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/units"
+)
+
+// TestResetMatchesFresh is the machine-reuse determinism gate: a
+// run→Reset→run sequence must produce a Measurement bit-identical to the
+// one two fresh machines produce, with warm-up and sampling engaged so
+// both phases (and the reused PMU sampler) are exercised. The
+// experiments machine pool is only sound because of this property.
+func TestResetMatchesFresh(t *testing.T) {
+	sampled := func(threads int) Config {
+		cfg := quickConfig(threads)
+		cfg.SampleInterval = 5 * units.Microsecond
+		return cfg
+	}
+	noPrefetch := func(threads int) Config {
+		cfg := sampled(threads)
+		cfg.Cache.Prefetch.Enabled = false
+		return cfg
+	}
+	type point struct {
+		cfg     Config
+		name    string
+		factory scanFactory
+	}
+	transitions := []struct {
+		name   string
+		first  point
+		second point
+	}{
+		{"same-config", point{sampled(4), "scan", scanFactory{baseCPI: 1}}, point{sampled(4), "scan", scanFactory{baseCPI: 1}}},
+		{"new-workload", point{sampled(4), "scan", scanFactory{baseCPI: 1}}, point{sampled(4), "io", scanFactory{baseCPI: 1.4, io: 4096}}},
+		{"thread-shrink", point{sampled(6), "scan", scanFactory{baseCPI: 1}}, point{sampled(2), "scan", scanFactory{baseCPI: 1}}},
+		{"thread-grow", point{sampled(2), "scan", scanFactory{baseCPI: 1}}, point{sampled(6), "scan", scanFactory{baseCPI: 1}}},
+		{"prefetch-off", point{sampled(4), "scan", scanFactory{baseCPI: 1}}, point{noPrefetch(4), "scan", scanFactory{baseCPI: 1}}},
+		{"sampling-off", point{sampled(4), "scan", scanFactory{baseCPI: 1}}, point{quickConfig(4), "scan", scanFactory{baseCPI: 1}}},
+	}
+	const warmup, measure = 100_000, 300_000
+	for _, tc := range transitions {
+		t.Run(tc.name, func(t *testing.T) {
+			reused, err := New(tc.first.cfg, tc.first.name, tc.first.factory)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := reused.Run(context.Background(), warmup, measure); err != nil {
+				t.Fatal(err)
+			}
+			if err := reused.Reset(tc.second.cfg, tc.second.name, tc.second.factory); err != nil {
+				t.Fatal(err)
+			}
+			got, err := reused.Run(context.Background(), warmup, measure)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			fresh, err := New(tc.second.cfg, tc.second.name, tc.second.factory)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := fresh.Run(context.Background(), warmup, measure)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("reused machine diverged from fresh:\nreused %+v\nfresh  %+v", got, want)
+			}
+		})
+	}
+}
+
+// TestResetAfterCancelledRun: Reset must wipe the partial state an
+// interrupted run leaves behind, so a pooled machine recycled after a
+// cancellation is still bit-identical to a fresh one.
+func TestResetAfterCancelledRun(t *testing.T) {
+	cfg := quickConfig(4)
+	cfg.SampleInterval = 5 * units.Microsecond
+	w := scanFactory{baseCPI: 1}
+
+	reused, err := New(cfg, "scan", w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	_, err = reused.Run(ctx, 0, 1<<40) // effectively unbounded: must be cancelled
+	cancel()
+	if err == nil {
+		t.Fatal("expected a cancellation error")
+	}
+	if err := reused.Reset(cfg, "scan", w); err != nil {
+		t.Fatal(err)
+	}
+	got, err := reused.Run(context.Background(), 100_000, 300_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fresh, err := New(cfg, "scan", w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fresh.Run(context.Background(), 100_000, 300_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("machine recycled after cancellation diverged from fresh")
+	}
+}
+
+// TestResetValidation mirrors New's error contract.
+func TestResetValidation(t *testing.T) {
+	m, err := New(quickConfig(2), "scan", scanFactory{baseCPI: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Reset(quickConfig(0), "scan", scanFactory{baseCPI: 1}); err == nil {
+		t.Fatal("want config error")
+	}
+	if err := m.Reset(quickConfig(2), "scan", nil); err == nil {
+		t.Fatal("want factory error")
+	}
+}

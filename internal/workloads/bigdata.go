@@ -157,7 +157,11 @@ func (c *columnStore) probeBlock(b *trace.Block) {
 			b.AddRef(addr, true) // update the aggregate in place
 		}
 	}
-	c.pending = c.pending[n:]
+	// Shift the unconsumed tail to the front so the buffer's capacity is
+	// kept; reslicing forward (pending[n:]) strands it and forces the
+	// scan phase to reallocate on every refill.
+	rest := copy(c.pending, c.pending[n:])
+	c.pending = c.pending[:rest]
 	// Materialize one result line per probe batch.
 	b.AddRef(c.out.next(), true)
 }

@@ -3,12 +3,27 @@
 # with -benchmem and emits BENCH_repro.json recording op time and
 # allocations for every benchmark, plus the measured speedup of the
 # parallel fit grids + measurement cache over the pre-parallel baseline
-# (REPRO_BENCH_BASELINE=1: one sim worker, no cache) on the fit-heavy
-# artifacts Table 2 and Figure 3.
+# (REPRO_BENCH_BASELINE=1: one sim worker, no measurement cache — the
+# configuration before the parallel-grid PR) on the fit-heavy artifacts
+# Table 2, Figure 3, Table 6 and Figure 6. To re-baseline after a perf
+# change, rerun this script and commit the regenerated BENCH_repro.json;
+# the baseline env is re-measured on every run, so speedups always
+# compare like hardware against like.
 #
 # Usage: scripts/bench.sh [smoke|full]
 #   smoke  one iteration per benchmark and a short speedup pass (CI)
 #   full   multi-iteration suite and speedup pass (default)
+#
+# Env:
+#   BENCH_OUT       output path (default BENCH_repro.json)
+#   BENCH_CPU       -cpu value (default 8)
+#   REPRO_PROFILE   when set, write <REPRO_PROFILE>_cpu.prof and
+#                   <REPRO_PROFILE>_mem.prof from the suite pass
+#
+# The smoke mode also gates allocation regressions: the steady-state
+# hot paths (CacheAccess, MemsysAccess) must stay at zero allocs/op and
+# MachineSimulation under a fixed ceiling, so an accidental allocation
+# on the measurement path fails CI instead of landing silently.
 #
 # Output: BENCH_repro.json (override with BENCH_OUT). No jq dependency:
 # the JSON is assembled from `go test -bench` output with awk/printf.
@@ -53,16 +68,50 @@ parse() {
 	}' "$1"
 }
 
-echo "== suite: go test -bench . -benchmem -benchtime $SUITE_TIME -cpu $CPU"
-go test -run '^$' -bench . -benchmem -benchtime "$SUITE_TIME" -cpu "$CPU" -timeout 45m . | tee "$TMP/suite.txt"
+PROFILE_ARGS=()
+if [ -n "${REPRO_PROFILE:-}" ]; then
+	PROFILE_ARGS=(-cpuprofile "${REPRO_PROFILE}_cpu.prof" -memprofile "${REPRO_PROFILE}_mem.prof")
+	echo "== profiling suite pass to ${REPRO_PROFILE}_{cpu,mem}.prof"
+fi
 
-echo "== speedup: Table2|Figure3, parallel grids + measurement cache vs baseline"
-go test -run '^$' -bench 'Table2|Figure3' -benchtime "$SPEEDUP_TIME" -cpu "$CPU" -timeout 45m . | tee "$TMP/par.txt"
-REPRO_BENCH_BASELINE=1 go test -run '^$' -bench 'Table2|Figure3' -benchtime "$SPEEDUP_TIME" -cpu "$CPU" -timeout 45m . | tee "$TMP/base.txt"
+SPEEDUP_BENCH='Table2$|Figure3$|Table6$|Figure6$'
+
+echo "== suite: go test -bench . -benchmem -benchtime $SUITE_TIME -cpu $CPU"
+go test -run '^$' -bench . -benchmem -benchtime "$SUITE_TIME" -cpu "$CPU" -timeout 45m "${PROFILE_ARGS[@]}" . | tee "$TMP/suite.txt"
+
+echo "== speedup: $SPEEDUP_BENCH, parallel grids + measurement cache vs baseline"
+go test -run '^$' -bench "$SPEEDUP_BENCH" -benchtime "$SPEEDUP_TIME" -cpu "$CPU" -timeout 45m . | tee "$TMP/par.txt"
+REPRO_BENCH_BASELINE=1 go test -run '^$' -bench "$SPEEDUP_BENCH" -benchtime "$SPEEDUP_TIME" -cpu "$CPU" -timeout 45m . | tee "$TMP/base.txt"
 
 parse "$TMP/suite.txt" >"$TMP/suite.tsv"
 parse "$TMP/par.txt" >"$TMP/par.tsv"
 parse "$TMP/base.txt" >"$TMP/base.tsv"
+
+# check_allocs fails the run when a benchmark's allocs/op exceeds its
+# ceiling — the allocation-regression gate for the zero-alloc
+# measurement path. Ceilings live here, next to the harness; raise one
+# only with a justification in the commit that does it.
+check_allocs() {
+	local name="$1" ceiling="$2" got
+	got="$(awk -F'\t' -v n="$name" '$1 == n { print $5; exit }' "$TMP/suite.tsv")"
+	if [ -z "$got" ]; then
+		echo "bench: alloc gate: benchmark $name missing from suite output" >&2
+		exit 1
+	fi
+	if [ "$got" -gt "$ceiling" ]; then
+		echo "bench: alloc gate: $name allocs/op $got > ceiling $ceiling" >&2
+		exit 1
+	fi
+	echo "alloc gate ok: $name $got <= $ceiling"
+}
+
+# MachineSimulation measures ~103 allocs/op after the zero-alloc PR
+# (per-Reset workload generators dominate; runtime thread allocations
+# add ~50 at -cpu 8 on small boxes); 220 is ~1.5x headroom over the
+# worst observed.
+check_allocs CacheAccess 0
+check_allocs MemsysAccess 0
+check_allocs MachineSimulation 220
 
 {
 	printf '{\n'
